@@ -1,0 +1,75 @@
+// Shared helpers for the experiment binaries (bench/bench_e*.cpp).
+//
+// Every binary runs with no arguments (flags can narrow/widen sweeps),
+// prints one or more tables to stdout, and finishes in seconds — together
+// they regenerate every quantitative claim in the paper (see DESIGN.md §3
+// for the experiment index and EXPERIMENTS.md for recorded results).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "agreement/approx_agreement.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace apram::bench {
+
+// One approximate-agreement execution in the concurrent-participation
+// regime (inputs installed first; see DESIGN.md §6), with the output phase
+// interleaved by `sched`.
+struct AgreementOutcome {
+  std::vector<double> outputs;
+  std::int64_t max_round = 0;
+  std::uint64_t max_steps_per_proc = 0;  // output-phase steps only
+  bool valid = false;                    // range(Y) ⊆ range(X), |Y| < ε
+};
+
+inline AgreementOutcome run_agreement_regime(const std::vector<double>& inputs,
+                                             double eps,
+                                             sim::Scheduler& sched) {
+  const int n = static_cast<int>(inputs.size());
+  sim::World w(n);
+  ApproxAgreementSim aa(w, n, eps);
+
+  for (int pid = 0; pid < n; ++pid) {
+    w.spawn(pid, [&aa, &inputs, pid](sim::Context ctx) -> sim::ProcessTask {
+      co_await aa.input(ctx, inputs[static_cast<std::size_t>(pid)]);
+    });
+  }
+  sim::RoundRobinScheduler rr;
+  APRAM_CHECK(w.run(rr).all_done);
+
+  std::vector<std::uint64_t> phase1_steps(static_cast<std::size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    phase1_steps[static_cast<std::size_t>(pid)] = w.counts(pid).total();
+  }
+
+  AgreementOutcome out;
+  out.outputs.resize(inputs.size());
+  for (int pid = 0; pid < n; ++pid) {
+    w.spawn(pid, [&aa, &out, pid](sim::Context ctx) -> sim::ProcessTask {
+      out.outputs[static_cast<std::size_t>(pid)] = co_await aa.output(ctx);
+    });
+  }
+  APRAM_CHECK(w.run(sched, 50'000'000).all_done);
+
+  for (int pid = 0; pid < n; ++pid) {
+    out.max_round = std::max(out.max_round, aa.peek_entry(pid).round);
+    out.max_steps_per_proc = std::max(
+        out.max_steps_per_proc,
+        w.counts(pid).total() - phase1_steps[static_cast<std::size_t>(pid)]);
+  }
+  const RealRange in = range_of(inputs);
+  const RealRange y = range_of(out.outputs);
+  out.valid = in.contains(y) && y.size() < eps;
+  return out;
+}
+
+}  // namespace apram::bench

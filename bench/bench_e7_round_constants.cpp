@@ -1,0 +1,93 @@
+// E7 — round-complexity constants (the §4 closing remark / Hoest–Shavit).
+//
+// The paper notes a curious gap: its upper bound halves the range per round
+// (log2(Δ/ε) rounds) while the two-process adversary only sustains a
+// one-third shrink (log3(Δ/ε) rounds), and cites Hoest & Shavit for the
+// resolution: log3 is tight for two processes, log2 for three or more.
+//
+// Reproduction with the tools of this repo:
+//   (a) the measured adversary-iteration count against the two-process
+//       midpoint object divided by log3(Δ/ε) — the constant should hover
+//       near 1 (the adversary achieves the base-3 shrink, no better);
+//   (b) the per-iteration gap-shrink factor the adversary sustains — lower
+//       bounded by 1/3 per Lemma 6's three-way argument;
+//   (c) Figure 2's measured rounds in the installed-input regime for
+//       n = 2 vs n ≥ 3 (constant — the installed regime removes the
+//       information asymmetry that makes rounds expensive; see DESIGN.md §6).
+#include "agreement/adversary.hpp"
+#include "bench_common.hpp"
+
+namespace apram::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  flags.check_unused();
+
+  Table ratio("E7a: adversary iterations vs log3(delta/eps), 2 processes",
+              {"k", "eps=3^-k", "iterations", "iters/log3(ratio)"});
+  for (int k = 2; k <= 8; ++k) {
+    const double eps = std::pow(3.0, -k);
+    const auto res = run_lower_bound_adversary(
+        midpoint_agreement_factory(eps, 0.0, 1.0), eps);
+    ratio.add(k)
+        .add(eps, 6)
+        .add(res.iterations)
+        .add(static_cast<double>(res.iterations) / k, 3)
+        .end_row();
+  }
+  ratio.print(std::cout);
+
+  Table shrink("E7b: sustained per-iteration gap shrink (geometric mean)",
+               {"k", "final_gap", "mean_shrink/iter", "lemma6_floor"});
+  for (int k : {4, 6, 8}) {
+    const double eps = std::pow(3.0, -k);
+    const auto res = run_lower_bound_adversary(
+        midpoint_agreement_factory(eps, 0.0, 1.0), eps);
+    // gap went 1.0 -> final_gap over `iterations` iterations.
+    const double mean_shrink =
+        std::pow(std::max(res.final_gap, eps / 3.0),
+                 1.0 / std::max(1, res.iterations));
+    shrink.add(k)
+        .add(res.final_gap, 6)
+        .add(mean_shrink, 4)
+        .add(1.0 / 3.0, 4)
+        .end_row();
+    APRAM_CHECK_MSG(mean_shrink >= 1.0 / 3.0 - 1e-9,
+                    "adversary lost more than 3x per iteration");
+  }
+  shrink.print(std::cout);
+
+  Table rounds("E7c: Figure 2 rounds, installed-input regime (worst of 20 "
+               "random schedules)",
+               {"n", "delta/eps", "max_round"});
+  for (int n : {2, 3, 8}) {
+    for (int log_ratio : {4, 10}) {
+      const double eps = 1.0 / std::pow(2.0, log_ratio);
+      std::vector<double> inputs;
+      for (int i = 0; i < n; ++i) {
+        inputs.push_back(static_cast<double>(i) / std::max(1, n - 1));
+      }
+      std::int64_t worst = 0;
+      for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        sim::RandomScheduler rs(seed, seed % 2 ? 0.8 : 0.0);
+        worst = std::max(worst,
+                         run_agreement_regime(inputs, eps, rs).max_round);
+      }
+      rounds.add(n)
+          .add(std::int64_t{1} << log_ratio)
+          .add(worst)
+          .end_row();
+    }
+  }
+  rounds.print(std::cout);
+  std::cout << "\nE7 done. shape: two-process adversary sustains the base-3 "
+               "shrink (constant ~1x log3); installed-input Figure 2 "
+               "converges in O(1) rounds for every n.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace apram::bench
+
+int main(int argc, char** argv) { return apram::bench::run(argc, argv); }

@@ -1,0 +1,75 @@
+// Micro-benchmarks (google-benchmark) for the real-thread runtime: register
+// read/write latency, snapshot scan/update latency vs n, counter ops.
+// Single-threaded latency numbers — the multi-thread throughput shapes live
+// in bench_e5_snapshot_compare.
+#include <benchmark/benchmark.h>
+
+#include "rt/fast_counter_rt.hpp"
+#include "rt/lattice_scan_rt.hpp"
+#include "rt/register.hpp"
+
+namespace apram::rt {
+namespace {
+
+void BM_RegisterRead(benchmark::State& state) {
+  SWMRRegister<std::int64_t> reg(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.read());
+  }
+}
+BENCHMARK(BM_RegisterRead);
+
+void BM_RegisterWrite(benchmark::State& state) {
+  SWMRRegister<std::int64_t> reg(0);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    reg.write(++i);
+  }
+}
+BENCHMARK(BM_RegisterWrite);
+
+void BM_SnapshotUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  AtomicSnapshotRT<std::int64_t> snap(n);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    snap.update(0, ++i);
+  }
+  state.SetLabel("n=" + std::to_string(n));
+}
+BENCHMARK(BM_SnapshotUpdate)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SnapshotScan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  AtomicSnapshotRT<std::int64_t> snap(n);
+  for (int p = 0; p < n; ++p) snap.update(p, p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.scan(0));
+  }
+  state.SetLabel("n=" + std::to_string(n) + " (expect ~n^2 growth)");
+}
+BENCHMARK(BM_SnapshotScan)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FastCounterInc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  FastCounterRT ctr(n);
+  for (auto _ : state) {
+    ctr.inc(0, 1);
+  }
+}
+BENCHMARK(BM_FastCounterInc)->Arg(4)->Arg(16);
+
+void BM_FastCounterRead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  FastCounterRT ctr(n);
+  for (int p = 0; p < n; ++p) ctr.inc(p, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctr.read(0));
+  }
+}
+BENCHMARK(BM_FastCounterRead)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace apram::rt
+
+BENCHMARK_MAIN();

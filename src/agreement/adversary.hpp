@@ -1,0 +1,82 @@
+// The Lemma 6 lower-bound adversary for approximate agreement.
+//
+// Lemma 6 defines a process's *preference* at a point in an execution as the
+// value it would return if it ran alone from that point on. The adversary's
+// strategy:
+//
+//   1. Run P until it is about to change Q's preference; likewise Q.
+//   2. When each process's next step would change the other's preference,
+//      schedule P, Q, or both — whichever keeps the preference gap largest.
+//      The three candidate gaps sum to at least the current gap, so the best
+//      choice shrinks it by at most 3×.
+//   3. Repeat; after k iterations the gap is still ≥ Δ/3^k, so some process
+//      must take ⌊log3(Δ/ε)⌋ steps before a *correct* algorithm may let both
+//      terminate.
+//
+// Preferences are computed by deterministic replay (see sim/replay.hpp):
+// re-execute the committed schedule prefix on a fresh world, then run the
+// process solo — exactly the oracle the proof uses.
+//
+// The adversary is generic over the algorithm under attack: it takes a
+// factory producing two-process agreement executions. Factories are provided
+// for the midpoint-convergence object (the correct testbed, where the game
+// exhibits the log3 bound) and for the literal Figure 2 object (where the
+// game instead surfaces the late-input boundary — see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "agreement/approx_agreement.hpp"
+#include "agreement/midpoint_agreement.hpp"
+#include "sim/replay.hpp"
+
+namespace apram {
+
+// A two-process agreement execution: process i inputs inputs[i], then
+// outputs. Implementations must be deterministic functions of the schedule.
+class AgreementExecution : public sim::Execution {
+ public:
+  virtual const std::optional<double>& out(int pid) const = 0;
+};
+
+// Factory producing fresh, identical executions.
+using AgreementFactory =
+    std::function<std::unique_ptr<AgreementExecution>()>;
+
+// Figure 2 (ApproxAgreementSim) under test.
+AgreementFactory figure2_agreement_factory(double epsilon, double x0,
+                                           double x1);
+
+// Midpoint-convergence object (MidpointAgreementSim) under test.
+AgreementFactory midpoint_agreement_factory(double epsilon, double x0,
+                                            double x1);
+
+struct AdversaryResult {
+  // Main-strategy iterations executed while the preference gap was ≥ ε
+  // (each shrinks the gap by at most 3×, so a correct algorithm sustains
+  // ≥ ⌊log3(Δ/ε)⌋ of them).
+  int iterations = 0;
+  // Steps committed to the adversarial prefix, per process, up to the point
+  // where the gap first fell below ε.
+  std::uint64_t steps_while_gap_wide[2] = {0, 0};
+  // Total steps committed per process over the whole adversarial run.
+  std::uint64_t total_steps[2] = {0, 0};
+  // Preference gap when the strategy stopped.
+  double final_gap = 0.0;
+  // The committed schedule (pids), usable to drive a real execution.
+  std::vector<int> schedule;
+  // Final outputs of both processes after running the remaining execution
+  // to completion under round-robin.
+  double outputs[2] = {0.0, 0.0};
+};
+
+// Plays the adversary against `factory`'s algorithm. `max_iterations` caps
+// strategy iterations as a safety net.
+AdversaryResult run_lower_bound_adversary(const AgreementFactory& factory,
+                                          double epsilon,
+                                          int max_iterations = 256);
+
+}  // namespace apram

@@ -1,0 +1,138 @@
+// Wait-free approximate agreement (Figure 2).
+//
+// The object is an n-element array r of single-writer entries, each holding
+// a preference and a round number (round 0 = ⊥, "no input yet"). A process
+// is a *leader* if its round is maximal. The output loop:
+//
+//   1. scan all entries (one read each, arbitrary order);
+//   2. E := preferences of entries whose round trails P's by at most one;
+//      L := preferences of the leaders;
+//   3. if |range(E)| < ε/2       — return own preference;
+//      elif |range(L)| < ε/2 or the advance flag is set
+//                               — write [midpoint(L), round+1], clear flag;
+//      else                     — set the advance flag (forcing one rescan
+//                                 before advancing).
+//
+// Theorem 5: every output completes within (2n+1)·log2(Δ/ε) + O(n) steps,
+// and all outputs lie within an ε-interval inside the input range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agreement/approx_spec.hpp"
+#include "sim/world.hpp"
+
+namespace apram {
+
+class ApproxAgreementSim {
+ public:
+  // One entry of the shared array r.
+  struct Entry {
+    double prefer = 0.0;
+    std::int64_t round = 0;  // 0 means ⊥: no input yet
+  };
+
+  // One register write, as recorded in the write log (used by the tests
+  // that check Lemmas 1-3 on actual executions).
+  struct WriteRecord {
+    int pid;
+    std::int64_t round;
+    double prefer;
+  };
+
+  ApproxAgreementSim(sim::World& world, int num_procs, double epsilon,
+                     const std::string& name = "aa")
+      : n_(num_procs), eps_(epsilon) {
+    APRAM_CHECK(num_procs >= 1);
+    APRAM_CHECK_MSG(epsilon > 0.0, "epsilon must be positive");
+    r_.reserve(static_cast<std::size_t>(n_));
+    for (int p = 0; p < n_; ++p) {
+      r_.push_back(&world.make_register<Entry>(
+          name + ".r[" + std::to_string(p) + "]", Entry{}, /*writer=*/p));
+    }
+  }
+
+  int num_procs() const { return n_; }
+  double epsilon() const { return eps_; }
+
+  // input(P, x): installs x as P's initial preference (round 1); subsequent
+  // calls have no effect. One read + (first time) one write.
+  sim::SimCoro<void> input(sim::Context ctx, double x) {
+    const int p = ctx.pid();
+    const Entry mine = co_await ctx.read(*r_[static_cast<std::size_t>(p)]);
+    if (mine.round == 0) {
+      co_await ctx.write(*r_[static_cast<std::size_t>(p)],
+                         Entry{x, 1});
+      log_.push_back(WriteRecord{p, 1, x});
+    }
+  }
+
+  // output(P): the Figure 2 loop. P must have called input first (the paper
+  // leaves output-before-any-input unspecified; we require the natural
+  // discipline instead).
+  sim::SimCoro<double> output(sim::Context ctx) {
+    const int p = ctx.pid();
+    bool advance = false;
+
+    for (;;) {
+      // Scan r (n reads, fixed order — the paper allows any order).
+      std::vector<Entry> entries;
+      entries.reserve(static_cast<std::size_t>(n_));
+      for (int q = 0; q < n_; ++q) {
+        Entry e = co_await ctx.read(*r_[static_cast<std::size_t>(q)]);
+        entries.push_back(e);
+      }
+      const Entry mine = entries[static_cast<std::size_t>(p)];
+      APRAM_CHECK_MSG(mine.round >= 1, "output() requires a prior input()");
+
+      std::int64_t max_round = 0;
+      for (const Entry& e : entries) max_round = std::max(max_round, e.round);
+
+      RealRange eligible;  // E: rounds within 1 of P's own
+      RealRange leaders;   // L: rounds equal to the maximum
+      for (const Entry& e : entries) {
+        if (e.round == 0) continue;  // ⊥ entries are not in the array yet
+        if (e.round >= mine.round - 1) eligible.extend(e.prefer);
+        if (e.round == max_round) leaders.extend(e.prefer);
+      }
+
+      if (eligible.size() < eps_ / 2.0) {
+        co_return mine.prefer;
+      } else if (leaders.size() < eps_ / 2.0 || advance) {
+        co_await ctx.write(
+            *r_[static_cast<std::size_t>(p)],
+            Entry{leaders.midpoint(), mine.round + 1});
+        log_.push_back(WriteRecord{p, mine.round + 1, leaders.midpoint()});
+        advance = false;
+      } else {
+        advance = true;
+      }
+    }
+  }
+
+  // Convenience: input followed by output.
+  sim::SimCoro<double> decide(sim::Context ctx, double x) {
+    co_await input(ctx, x);
+    const double y = co_await output(ctx);
+    co_return y;
+  }
+
+  // Test/bench introspection: P's current entry (no simulation step).
+  Entry peek_entry(int pid) const {
+    return r_[static_cast<std::size_t>(pid)]->peek();
+  }
+
+  // Every (pid, round, prefer) ever written, in write order — the X_r sets
+  // of Lemmas 1-3, reconstructed from the execution itself.
+  const std::vector<WriteRecord>& write_log() const { return log_; }
+
+ private:
+  int n_;
+  double eps_;
+  std::vector<sim::Register<Entry>*> r_;
+  std::vector<WriteRecord> log_;
+};
+
+}  // namespace apram

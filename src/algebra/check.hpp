@@ -1,0 +1,101 @@
+// Semantic validation of a spec's declared algebra (Definitions 9–11).
+//
+// For total deterministic specifications, "H·p legal" means p's recorded
+// response equals the one the state machine produces after H, and two
+// histories are equivalent iff they leave behavior-identical states. These
+// checkers evaluate the definitions at a concrete reachable state:
+//
+//   commutes at s:    resp(q | s·p) == resp(q | s), resp(p | s·q) == resp(p | s),
+//                     and state(s·p·q) == state(s·q·p)
+//   q overwrites p at s:  resp(q | s·p) == resp(q | s) and
+//                         state(s·p·q) == state(s·q)
+//
+// The property tests sample many reachable states (random invocation
+// sequences) and require the declared relations to match the semantic ones
+// everywhere — and require Property 1 to hold semantically.
+//
+// State equivalence defaults to operator==; a spec whose representation is
+// finer than its observable behavior can provide `static bool
+// state_equivalent(const State&, const State&)` to override.
+#pragma once
+
+#include "algebra/spec.hpp"
+
+namespace apram {
+
+namespace detail {
+
+template <class S>
+concept HasStateEquivalent = requires(const typename S::State& a,
+                                      const typename S::State& b) {
+  { S::state_equivalent(a, b) } -> std::same_as<bool>;
+};
+
+template <class S>
+bool states_equal(const typename S::State& a, const typename S::State& b) {
+  if constexpr (HasStateEquivalent<S>) {
+    return S::state_equivalent(a, b);
+  } else {
+    return a == b;
+  }
+}
+
+}  // namespace detail
+
+// Definition 10 instantiated at state s.
+template <SequentialSpec S>
+bool commutes_at(const typename S::State& s, const typename S::Invocation& p,
+                 const typename S::Invocation& q) {
+  const auto [sp, rp] = S::apply(s, p);
+  const auto [sq, rq] = S::apply(s, q);
+  const auto [spq, rq_after_p] = S::apply(sp, q);
+  const auto [sqp, rp_after_q] = S::apply(sq, p);
+  return rq_after_p == rq && rp_after_q == rp &&
+         detail::states_equal<S>(spq, sqp);
+}
+
+// Definition 11 instantiated at state s: does q overwrite p here?
+template <SequentialSpec S>
+bool overwrites_at(const typename S::State& s, const typename S::Invocation& q,
+                   const typename S::Invocation& p) {
+  const auto [sp, rp] = S::apply(s, p);
+  (void)rp;
+  const auto [sq, rq] = S::apply(s, q);
+  const auto [spq, rq_after_p] = S::apply(sp, q);
+  return rq_after_p == rq && detail::states_equal<S>(spq, sq);
+}
+
+// Result of validating one (p, q) pair at one state.
+struct AlgebraVerdict {
+  bool declared_consistent = true;  // declared relations hold semantically
+  bool property1 = true;            // commute-or-overwrite holds semantically
+};
+
+template <SequentialSpec S>
+AlgebraVerdict validate_pair_at(const typename S::State& s,
+                                const typename S::Invocation& p,
+                                const typename S::Invocation& q) {
+  AlgebraVerdict v;
+  const bool sem_comm = commutes_at<S>(s, p, q);
+  const bool sem_q_over_p = overwrites_at<S>(s, q, p);
+  const bool sem_p_over_q = overwrites_at<S>(s, p, q);
+
+  // Declared relations are universally quantified over histories, so a
+  // declaration of "true" must hold at every sampled state.
+  if (S::commutes(p, q) && !sem_comm) v.declared_consistent = false;
+  if (S::overwrites(q, p) && !sem_q_over_p) v.declared_consistent = false;
+  if (S::overwrites(p, q) && !sem_p_over_q) v.declared_consistent = false;
+
+  v.property1 = sem_comm || sem_q_over_p || sem_p_over_q;
+  return v;
+}
+
+// Property 1 at the *declaration* level (what the universal construction
+// actually relies on): every pair commutes or one overwrites the other.
+template <SequentialSpec S>
+bool declared_property1(const typename S::Invocation& p,
+                        const typename S::Invocation& q) {
+  return S::commutes(p, q) || S::overwrites(p, q) || S::overwrites(q, p);
+}
+
+}  // namespace apram

@@ -1,0 +1,5 @@
+#include "algebra/check.hpp"
+#include "algebra/spec.hpp"
+
+// The algebra module is header-only templates; this translation unit anchors
+// the library target and compiles the headers standalone.

@@ -1,0 +1,89 @@
+// Sequential specifications and the commute/overwrite algebra (§5.1–5.2).
+//
+// An object type is described by a SequentialSpec: a state machine with
+// total, deterministic operations. On top of the state machine, the spec
+// declares the algebraic relations the paper's construction consumes:
+//
+//   commutes(p, q)     — Definition 10: after any legal history, p·q and q·p
+//                        are both legal and equivalent.
+//   overwrites(q, p)   — Definition 11: after any legal history, p·q is
+//                        legal and equivalent to q alone ("q destroys all
+//                        evidence of p").
+//
+// Property 1 (the constructibility criterion): every pair of operations
+// either commutes or one overwrites the other. The declared relations are
+// validated against their definitions by the randomized semantic checkers in
+// algebra/check.hpp, so a spec cannot quietly lie about its algebra.
+//
+// Definition 14 (dominance) breaks overwrite ties by process index; it is
+// the strict partial order the linearization-graph construction uses.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace apram {
+
+template <class S>
+concept SequentialSpec = requires(const typename S::State& state,
+                                  const typename S::Invocation& p,
+                                  const typename S::Invocation& q) {
+  typename S::State;
+  typename S::Invocation;
+  typename S::Response;
+  { S::initial() } -> std::same_as<typename S::State>;
+  {
+    S::apply(state, p)
+  } -> std::same_as<std::pair<typename S::State, typename S::Response>>;
+  { S::commutes(p, q) } -> std::same_as<bool>;
+  { S::overwrites(q, p) } -> std::same_as<bool>;
+};
+
+// A completed operation: who ran it, what was invoked, what it returned.
+// (pid, seq) is a unique identity; seq is per-process and increasing.
+template <class S>
+struct Op {
+  int pid = -1;
+  std::uint64_t seq = 0;
+  typename S::Invocation inv{};
+  typename S::Response resp{};
+};
+
+// Definition 14: p (of process ppid) dominates q (of process qpid) iff
+//   (1) p overwrites q but not vice versa, or
+//   (2) they overwrite each other and ppid > qpid.
+template <SequentialSpec S>
+bool dominates(const typename S::Invocation& p, int ppid,
+               const typename S::Invocation& q, int qpid) {
+  const bool pq = S::overwrites(p, q);
+  const bool qp = S::overwrites(q, p);
+  if (pq && !qp) return true;
+  if (pq && qp) return ppid > qpid;
+  return false;
+}
+
+// Runs a sequence of invocations from the initial state; returns the final
+// state and every response. This is the "sequential implementation of the
+// object" that Figure 4's Step 1 consults.
+template <SequentialSpec S>
+struct SequentialRun {
+  typename S::State final_state;
+  std::vector<typename S::Response> responses;
+};
+
+template <SequentialSpec S>
+SequentialRun<S> run_sequential(std::span<const typename S::Invocation> invs) {
+  SequentialRun<S> out{S::initial(), {}};
+  out.responses.reserve(invs.size());
+  for (const auto& inv : invs) {
+    auto [next, resp] = S::apply(out.final_state, inv);
+    out.final_state = std::move(next);
+    out.responses.push_back(std::move(resp));
+  }
+  return out;
+}
+
+}  // namespace apram

@@ -1,0 +1,65 @@
+// libapram — umbrella header.
+//
+// Wait-free data structures in the asynchronous PRAM model, after
+// Aspnes & Herlihy (SPAA 1990). Including this header pulls in the whole
+// public API; the individual headers are self-contained if you want less.
+//
+// Layering (bottom to top):
+//
+//   util/       — rng, stats, tables, flags               (no dependencies)
+//   sim/        — the asynchronous PRAM simulator: coroutine processes,
+//                 atomic registers, schedulers, deterministic replay
+//   lattice/    — ∨-semilattices (max, set-union, tagged-vector, product)
+//   snapshot/   — the §6 lattice Scan and atomic snapshot object, plus the
+//                 double-collect / AADGMS / mutex baselines
+//   agreement/  — §4 approximate agreement (Figure 2), the midpoint
+//                 two-process testbed, and the Lemma 6 adversary
+//   algebra/    — §5.1 sequential specs and the commute/overwrite algebra
+//   graph/      — §5.3 precedence graphs and the Figure 3 lingraph
+//   core/       — §5.4 universal construction for commute/overwrite objects
+//   objects/    — counter, grow-set, max-register, Lamport clock,
+//                 type-optimized FastCounter, pseudo read-modify-write
+//   lincheck/   — history recording and a Wing–Gong linearizability checker
+//   rt/         — real-thread (std::atomic) runtime: SWMR registers, the
+//                 same scan/snapshot/agreement algorithms, thread harness
+#pragma once
+
+#include "agreement/adversary.hpp"
+#include "agreement/approx_agreement.hpp"
+#include "agreement/approx_spec.hpp"
+#include "agreement/midpoint_agreement.hpp"
+#include "algebra/check.hpp"
+#include "algebra/spec.hpp"
+#include "core/universal.hpp"
+#include "graph/digraph.hpp"
+#include "graph/lingraph.hpp"
+#include "lattice/lattice.hpp"
+#include "lincheck/checker.hpp"
+#include "lincheck/history.hpp"
+#include "objects/adopt_commit.hpp"
+#include "objects/counter.hpp"
+#include "objects/fast_counter.hpp"
+#include "objects/grow_set.hpp"
+#include "objects/join_map.hpp"
+#include "objects/logical_clock.hpp"
+#include "objects/pseudo_rmw.hpp"
+#include "objects/randomized_consensus.hpp"
+#include "objects/specs.hpp"
+#include "rt/afek_snapshot_rt.hpp"
+#include "rt/approx_agreement_rt.hpp"
+#include "rt/double_collect_rt.hpp"
+#include "rt/fast_counter_rt.hpp"
+#include "rt/lattice_scan_rt.hpp"
+#include "rt/register.hpp"
+#include "rt/thread_harness.hpp"
+#include "sim/explore.hpp"
+#include "sim/replay.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/world.hpp"
+#include "snapshot/atomic_snapshot.hpp"
+#include "snapshot/baselines/afek_snapshot.hpp"
+#include "snapshot/baselines/double_collect.hpp"
+#include "snapshot/baselines/mutex_snapshot.hpp"
+#include "snapshot/lattice_agreement.hpp"
+#include "snapshot/lattice_scan.hpp"
+#include "snapshot/scan_stats.hpp"

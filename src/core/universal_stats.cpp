@@ -1,0 +1,11 @@
+#include "core/universal.hpp"
+#include "objects/specs.hpp"
+
+namespace apram {
+
+// Anchor translation unit: instantiate the universal construction for the
+// counter spec so template errors surface in the library build, not only in
+// client code.
+template class UniversalObjectSim<CounterSpec>;
+
+}  // namespace apram

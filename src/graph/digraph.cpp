@@ -1,0 +1,104 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace apram {
+
+Digraph::Digraph(int num_nodes)
+    : n_(num_nodes),
+      words_((static_cast<std::size_t>(num_nodes) + 63) / 64),
+      adj_(static_cast<std::size_t>(num_nodes)),
+      closure_(static_cast<std::size_t>(num_nodes),
+               std::vector<std::uint64_t>(words_, 0)) {
+  APRAM_CHECK(num_nodes >= 0);
+}
+
+bool Digraph::has_edge(int u, int v) const {
+  check_node(u);
+  check_node(v);
+  const auto& succ = adj_[static_cast<std::size_t>(u)];
+  return std::find(succ.begin(), succ.end(), v) != succ.end();
+}
+
+bool Digraph::has_path(int u, int v) const {
+  check_node(u);
+  check_node(v);
+  return closure_bit(u, v);
+}
+
+void Digraph::add_edge(int u, int v) {
+  check_node(u);
+  check_node(v);
+  APRAM_CHECK_MSG(u != v, "self-edge");
+  APRAM_CHECK_MSG(!edge_would_cycle(u, v),
+                  "add_edge would close a cycle; caller must test first");
+  if (has_edge(u, v)) return;
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+
+  // Everything reaching u (plus u itself) now reaches v and v's closure.
+  const auto& vrow = closure_[static_cast<std::size_t>(v)];
+  for (int w = 0; w < n_; ++w) {
+    if (w == u || closure_bit(w, u)) {
+      auto& wrow = closure_[static_cast<std::size_t>(w)];
+      for (std::size_t word = 0; word < words_; ++word) wrow[word] |= vrow[word];
+      set_closure_bit(w, v);
+    }
+  }
+}
+
+const std::vector<int>& Digraph::successors(int u) const {
+  check_node(u);
+  return adj_[static_cast<std::size_t>(u)];
+}
+
+std::vector<int> Digraph::predecessors(int v) const {
+  check_node(v);
+  std::vector<int> preds;
+  for (int u = 0; u < n_; ++u) {
+    if (has_edge(u, v)) preds.push_back(u);
+  }
+  return preds;
+}
+
+int Digraph::in_degree(int v) const {
+  return static_cast<int>(predecessors(v).size());
+}
+
+std::vector<int> Digraph::topo_order() const {
+  std::vector<int> indeg(static_cast<std::size_t>(n_), 0);
+  for (int u = 0; u < n_; ++u) {
+    for (int v : adj_[static_cast<std::size_t>(u)]) {
+      ++indeg[static_cast<std::size_t>(v)];
+    }
+  }
+  // Min-index-first ready queue makes the order deterministic, which in the
+  // universal construction makes every process linearize identical views
+  // identically (crucial for agreement on responses).
+  std::priority_queue<int, std::vector<int>, std::greater<>> ready;
+  for (int v = 0; v < n_; ++v) {
+    if (indeg[static_cast<std::size_t>(v)] == 0) ready.push(v);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n_));
+  while (!ready.empty()) {
+    const int u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (int v : adj_[static_cast<std::size_t>(u)]) {
+      if (--indeg[static_cast<std::size_t>(v)] == 0) ready.push(v);
+    }
+  }
+  APRAM_CHECK_MSG(static_cast<int>(order.size()) == n_,
+                  "topo_order on a cyclic graph");
+  return order;
+}
+
+bool Digraph::is_acyclic() const {
+  for (int v = 0; v < n_; ++v) {
+    if (closure_bit(v, v)) return false;
+  }
+  return true;
+}
+
+}  // namespace apram

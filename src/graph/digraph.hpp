@@ -1,0 +1,68 @@
+// A small dense digraph with incremental transitive closure.
+//
+// The lingraph construction (Figure 3) repeatedly asks "would adding this
+// edge create a cycle?" — i.e. is there already a path from the head to the
+// tail. Maintaining the transitive closure as bitset rows makes that query
+// O(1) and each edge insertion O(V²/64), which is ideal at the graph sizes
+// the universal construction produces (one node per operation in a view).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace apram {
+
+class Digraph {
+ public:
+  explicit Digraph(int num_nodes);
+
+  int num_nodes() const { return n_; }
+
+  // Adds edge u -> v. Self-edges and duplicate edges are rejected by
+  // APRAM_CHECK; adding an edge that closes a cycle is a logic error (call
+  // has_path(v, u) first).
+  void add_edge(int u, int v);
+
+  bool has_edge(int u, int v) const;
+
+  // Is there a directed path (of length >= 1) from u to v?
+  bool has_path(int u, int v) const;
+
+  // Would add_edge(u, v) close a cycle? True iff v already reaches u
+  // (or u == v).
+  bool edge_would_cycle(int u, int v) const {
+    return u == v || has_path(v, u);
+  }
+
+  const std::vector<int>& successors(int u) const;
+  std::vector<int> predecessors(int v) const;
+  int in_degree(int v) const;
+
+  // Deterministic topological order: among ready nodes, the smallest index
+  // is emitted first. Requires the graph to be acyclic (checked).
+  std::vector<int> topo_order() const;
+
+  bool is_acyclic() const;
+
+ private:
+  void check_node(int v) const { APRAM_CHECK(v >= 0 && v < n_); }
+  bool closure_bit(int u, int v) const {
+    return (closure_[static_cast<std::size_t>(u)]
+                    [static_cast<std::size_t>(v) >> 6] >>
+            (static_cast<std::size_t>(v) & 63)) &
+           1u;
+  }
+  void set_closure_bit(int u, int v) {
+    closure_[static_cast<std::size_t>(u)][static_cast<std::size_t>(v) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(v) & 63);
+  }
+
+  int n_;
+  std::size_t words_;
+  std::vector<std::vector<int>> adj_;                  // direct successors
+  std::vector<std::vector<std::uint64_t>> closure_;    // reachability bitsets
+};
+
+}  // namespace apram

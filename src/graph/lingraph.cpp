@@ -1,0 +1,38 @@
+#include "graph/lingraph.hpp"
+
+namespace apram {
+
+Digraph lingraph(const Digraph& precedence, const DominatesFn& dominates) {
+  const int k = precedence.num_nodes();
+  // {p_1, ..., p_k}: operations in an order consistent with precedence.
+  const std::vector<int> order = precedence.topo_order();
+
+  // L_{0,k} := G — copy all precedence edges.
+  Digraph lin(k);
+  for (int u = 0; u < k; ++u) {
+    for (int v : precedence.successors(u)) lin.add_edge(u, v);
+  }
+
+  // Figure 3's double loop: visit p_i against each later p_j, adding the
+  // dominance edge (directed dominated -> dominator) unless it would close
+  // a cycle.
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      const int pi = order[static_cast<std::size_t>(i)];
+      const int pj = order[static_cast<std::size_t>(j)];
+      if (dominates(pi, pj) && !lin.edge_would_cycle(pj, pi)) {
+        lin.add_edge(pj, pi);
+      } else if (dominates(pj, pi) && !lin.edge_would_cycle(pi, pj)) {
+        lin.add_edge(pi, pj);
+      }
+    }
+  }
+  return lin;
+}
+
+std::vector<int> linearize(const Digraph& precedence,
+                           const DominatesFn& dominates) {
+  return lingraph(precedence, dominates).topo_order();
+}
+
+}  // namespace apram

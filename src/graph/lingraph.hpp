@@ -1,0 +1,39 @@
+// The linearization-graph construction (Figure 3, §5.3).
+//
+// Input: a precedence graph — a DAG whose nodes are operations, with an edge
+// p → q whenever p's response precedes q's invocation — plus the dominance
+// relation of Definition 14. Output: the precedence graph augmented with a
+// maximal set of dominance edges (directed from dominated to dominator, so
+// dominated operations linearize earlier) that does not create a cycle.
+//
+// The construction visits operations in an order consistent with precedence
+// (here: the deterministic topological order) and considers pairs (p_i, p_j)
+// with i < j exactly as the pseudocode's double loop does. The paper's
+// lemmas proved over this construction — Lemma 16 (concurrent dominating
+// pairs get connected), Lemma 17 (unrelated pairs commute), Lemma 18
+// (acyclicity), Lemma 20 (all linearizations equivalent), Lemma 23
+// (removing a sink yields a subgraph) — are property-tested over randomized
+// histories in tests/graph_test.cpp.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace apram {
+
+// dominates(a, b): does operation (node) a dominate operation b?
+using DominatesFn = std::function<bool(int, int)>;
+
+// Builds L(G) from the precedence DAG `precedence` (edge p→q means p
+// precedes q) and the dominance relation. Returns a graph over the same
+// node ids containing all precedence edges plus the added dominance edges.
+Digraph lingraph(const Digraph& precedence, const DominatesFn& dominates);
+
+// A linearization of a precedence graph (Definition 19): the deterministic
+// topological sort of lingraph(precedence, dominates).
+std::vector<int> linearize(const Digraph& precedence,
+                           const DominatesFn& dominates);
+
+}  // namespace apram

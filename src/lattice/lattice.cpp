@@ -1,0 +1,3 @@
+#include "lattice/lattice.hpp"
+
+// Header-only module; anchor translation unit.

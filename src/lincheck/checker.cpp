@@ -1,0 +1,4 @@
+#include "lincheck/checker.hpp"
+
+// Header-only module; anchor translation unit. (Instantiations live in the
+// tests to keep the module's dependencies minimal.)

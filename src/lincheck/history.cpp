@@ -1,0 +1,3 @@
+#include "lincheck/history.hpp"
+
+// Header-only module; anchor translation unit.

@@ -1,0 +1,68 @@
+// Concurrent histories for linearizability checking (§3.2).
+//
+// A RecordedOp is one completed (or pending) operation: who invoked what,
+// what came back, and the global-time window [invoke_time, respond_time) the
+// operation occupied. The real-time precedence relation is derived from the
+// windows: p precedes q iff p's response time is at most q's invocation
+// time. Pending operations (no response — e.g. the caller crashed) have
+// respond_time = kPending and may, per the definition of linearizability, be
+// completed with any legal response or dropped entirely.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "algebra/spec.hpp"
+
+namespace apram {
+
+inline constexpr std::uint64_t kPending =
+    std::numeric_limits<std::uint64_t>::max();
+
+template <SequentialSpec S>
+struct RecordedOp {
+  int pid = -1;
+  typename S::Invocation inv{};
+  typename S::Response resp{};
+  std::uint64_t invoke_time = 0;
+  std::uint64_t respond_time = kPending;
+
+  bool pending() const { return respond_time == kPending; }
+};
+
+// Does a precede b in real time?
+template <SequentialSpec S>
+bool precedes(const RecordedOp<S>& a, const RecordedOp<S>& b) {
+  return !a.pending() && a.respond_time <= b.invoke_time;
+}
+
+// A recording helper for simulator tests: wraps an object call with
+// timestamps taken from the world's global step counter.
+template <SequentialSpec S>
+class HistoryRecorder {
+ public:
+  // Marks an invocation; returns a token to close with.
+  std::size_t begin(int pid, typename S::Invocation inv,
+                    std::uint64_t now) {
+    RecordedOp<S> op;
+    op.pid = pid;
+    op.inv = std::move(inv);
+    op.invoke_time = now;
+    ops_.push_back(std::move(op));
+    return ops_.size() - 1;
+  }
+
+  void end(std::size_t token, typename S::Response resp, std::uint64_t now) {
+    ops_[token].resp = std::move(resp);
+    ops_[token].respond_time = now;
+  }
+
+  const std::vector<RecordedOp<S>>& ops() const { return ops_; }
+  std::vector<RecordedOp<S>>& mutable_ops() { return ops_; }
+
+ private:
+  std::vector<RecordedOp<S>> ops_;
+};
+
+}  // namespace apram

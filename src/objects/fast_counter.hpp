@@ -1,0 +1,61 @@
+// Type-optimized wait-free counter (the §5.4 closing remark: "for any
+// particular data type, it should be possible to apply type-specific
+// optimizations to discard most of the precedence graph").
+//
+// For a counter without reset, the entire precedence graph collapses to one
+// running total per process: inc/dec(amount) adds to the caller's published
+// contribution (a single snapshot-object update — one shared write), and
+// read() takes one snapshot scan and sums the contributions. Linearizable
+// because the underlying snapshot is atomic and contributions are
+// per-process monotone histories.
+//
+// Cost per op: update O(1), read O(n²) — versus the generic construction's
+// O(n²) for *every* operation plus graph maintenance. Bench E8 quantifies
+// the gap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "snapshot/atomic_snapshot.hpp"
+
+namespace apram {
+
+class FastCounterSim {
+ public:
+  FastCounterSim(sim::World& world, int num_procs,
+                 const std::string& name = "fctr",
+                 ScanMode mode = ScanMode::kOptimized)
+      : snap_(world, num_procs, name, mode),
+        contribution_(static_cast<std::size_t>(num_procs), 0) {}
+
+  sim::SimCoro<void> inc(sim::Context ctx, std::int64_t by = 1) {
+    co_await add(ctx, by);
+  }
+  sim::SimCoro<void> dec(sim::Context ctx, std::int64_t by = 1) {
+    co_await add(ctx, -by);
+  }
+
+  sim::SimCoro<std::int64_t> read(sim::Context ctx) {
+    SnapshotView<std::int64_t> view = co_await snap_.scan(ctx);
+    std::int64_t sum = 0;
+    for (const auto& c : view) {
+      if (c.has_value()) sum += *c;
+    }
+    co_return sum;
+  }
+
+ private:
+  sim::SimCoro<void> add(sim::Context ctx, std::int64_t delta) {
+    auto& mine = contribution_[static_cast<std::size_t>(ctx.pid())];
+    mine += delta;
+    co_await snap_.update(ctx, mine);
+  }
+
+  AtomicSnapshotSim<std::int64_t> snap_;
+  // Each process's running total; only entry pid is touched by process pid,
+  // and the authoritative copy lives in the snapshot object.
+  std::vector<std::int64_t> contribution_;
+};
+
+}  // namespace apram

@@ -1,0 +1,3 @@
+#include "objects/specs.hpp"
+
+// Header-only module; anchor translation unit.

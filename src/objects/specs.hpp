@@ -1,0 +1,263 @@
+// Sequential specifications for the concrete data types of §5.1.
+//
+// Positive examples (satisfy Property 1, constructible):
+//   CounterSpec     — inc/dec commute; reset overwrites everything;
+//                     everything overwrites read. The paper's flagship
+//                     example (shared counters, logical clocks [33],
+//                     randomized consensus [6]).
+//   GrowSetSpec     — insert-only set: inserts commute, membership/size
+//                     queries are overwritten by everything.
+//   MaxRegisterSpec — write-max register: writes commute (join semantics),
+//                     reads are overwritten. The building block for Lamport
+//                     logical clocks.
+//
+// Negative examples (violate Property 1, hence *not* constructible from
+// reads and writes — they solve two-process consensus [23, 26]):
+//   StickyRegisterSpec — first write wins; two writes neither commute nor
+//                        overwrite.
+//   QueueSpec          — FIFO queue; enqueues neither commute nor overwrite.
+//
+// The declared commutes/overwrites tables are validated against the
+// semantic Definitions 10–11 by tests/algebra_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace apram {
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+struct CounterSpec {
+  enum class Kind : std::uint8_t { kInc, kDec, kReset, kRead };
+
+  struct Invocation {
+    Kind kind = Kind::kRead;
+    std::int64_t amount = 0;
+
+    friend bool operator==(const Invocation&, const Invocation&) = default;
+  };
+  using State = std::int64_t;
+  using Response = std::int64_t;  // read: the value; mutators: 0
+
+  static State initial() { return 0; }
+
+  static std::pair<State, Response> apply(const State& s,
+                                          const Invocation& inv) {
+    switch (inv.kind) {
+      case Kind::kInc:
+        return {s + inv.amount, 0};
+      case Kind::kDec:
+        return {s - inv.amount, 0};
+      case Kind::kReset:
+        return {inv.amount, 0};
+      case Kind::kRead:
+        return {s, s};
+    }
+    return {s, 0};
+  }
+
+  static bool is_mutation(Kind k) { return k != Kind::kRead; }
+
+  static bool commutes(const Invocation& p, const Invocation& q) {
+    const bool p_delta = p.kind == Kind::kInc || p.kind == Kind::kDec;
+    const bool q_delta = q.kind == Kind::kInc || q.kind == Kind::kDec;
+    if (p_delta && q_delta) return true;                       // inc/dec pairs
+    return p.kind == Kind::kRead && q.kind == Kind::kRead;     // read pairs
+  }
+
+  // overwrites(q, p): q destroys all evidence of p.
+  static bool overwrites(const Invocation& q, const Invocation& p) {
+    if (q.kind == Kind::kReset) return true;   // reset overwrites everything
+    if (p.kind == Kind::kRead) return true;    // everything overwrites read
+    return false;
+  }
+
+  // Convenience constructors.
+  static Invocation inc(std::int64_t by = 1) { return {Kind::kInc, by}; }
+  static Invocation dec(std::int64_t by = 1) { return {Kind::kDec, by}; }
+  static Invocation reset(std::int64_t to = 0) { return {Kind::kReset, to}; }
+  static Invocation read() { return {Kind::kRead, 0}; }
+};
+
+// ---------------------------------------------------------------------------
+// Grow-only set over small integers
+// ---------------------------------------------------------------------------
+
+struct GrowSetSpec {
+  enum class Kind : std::uint8_t { kInsert, kHas, kSize };
+
+  struct Invocation {
+    Kind kind = Kind::kSize;
+    std::int64_t element = 0;
+
+    friend bool operator==(const Invocation&, const Invocation&) = default;
+  };
+  using State = std::set<std::int64_t>;
+  using Response = std::int64_t;  // has: 0/1; size: cardinality; insert: 0
+
+  static State initial() { return {}; }
+
+  static std::pair<State, Response> apply(const State& s,
+                                          const Invocation& inv) {
+    switch (inv.kind) {
+      case Kind::kInsert: {
+        State next = s;
+        next.insert(inv.element);
+        return {std::move(next), 0};
+      }
+      case Kind::kHas:
+        return {s, s.count(inv.element) ? 1 : 0};
+      case Kind::kSize:
+        return {s, static_cast<Response>(s.size())};
+    }
+    return {s, 0};
+  }
+
+  static bool is_query(Kind k) { return k != Kind::kInsert; }
+
+  static bool commutes(const Invocation& p, const Invocation& q) {
+    if (p.kind == Kind::kInsert && q.kind == Kind::kInsert) return true;
+    return is_query(p.kind) && is_query(q.kind);  // queries commute
+  }
+
+  static bool overwrites(const Invocation& q, const Invocation& p) {
+    (void)q;
+    return is_query(p.kind);  // everything overwrites a query
+  }
+
+  static Invocation insert(std::int64_t x) { return {Kind::kInsert, x}; }
+  static Invocation has(std::int64_t x) { return {Kind::kHas, x}; }
+  static Invocation size() { return {Kind::kSize, 0}; }
+};
+
+// ---------------------------------------------------------------------------
+// Max-register (write-max / read) — the logical-clock substrate
+// ---------------------------------------------------------------------------
+
+struct MaxRegisterSpec {
+  enum class Kind : std::uint8_t { kWriteMax, kRead };
+
+  struct Invocation {
+    Kind kind = Kind::kRead;
+    std::int64_t value = 0;
+
+    friend bool operator==(const Invocation&, const Invocation&) = default;
+  };
+  using State = std::int64_t;
+  using Response = std::int64_t;
+
+  static State initial() { return 0; }
+
+  static std::pair<State, Response> apply(const State& s,
+                                          const Invocation& inv) {
+    if (inv.kind == Kind::kWriteMax) {
+      return {s > inv.value ? s : inv.value, 0};
+    }
+    return {s, s};
+  }
+
+  static bool commutes(const Invocation& p, const Invocation& q) {
+    if (p.kind == Kind::kWriteMax && q.kind == Kind::kWriteMax) return true;
+    return p.kind == Kind::kRead && q.kind == Kind::kRead;
+  }
+
+  static bool overwrites(const Invocation& q, const Invocation& p) {
+    (void)q;
+    return p.kind == Kind::kRead;  // everything overwrites a read
+  }
+
+  static Invocation write_max(std::int64_t v) { return {Kind::kWriteMax, v}; }
+  static Invocation read() { return {Kind::kRead, 0}; }
+};
+
+// ---------------------------------------------------------------------------
+// Negative examples — these violate Property 1 and must be rejected.
+// ---------------------------------------------------------------------------
+
+// Write-once ("sticky") register: the first write wins. Solves consensus,
+// so it cannot satisfy Property 1.
+struct StickyRegisterSpec {
+  enum class Kind : std::uint8_t { kWrite, kRead };
+
+  struct Invocation {
+    Kind kind = Kind::kRead;
+    std::int64_t value = 0;
+
+    friend bool operator==(const Invocation&, const Invocation&) = default;
+  };
+  struct State {
+    bool written = false;
+    std::int64_t value = 0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+  using Response = std::int64_t;
+
+  static State initial() { return {}; }
+
+  static std::pair<State, Response> apply(const State& s,
+                                          const Invocation& inv) {
+    if (inv.kind == Kind::kWrite) {
+      if (s.written) return {s, 0};
+      return {State{true, inv.value}, 0};
+    }
+    return {s, s.written ? s.value : -1};
+  }
+
+  static bool commutes(const Invocation& p, const Invocation& q) {
+    return p.kind == Kind::kRead && q.kind == Kind::kRead;
+  }
+
+  static bool overwrites(const Invocation& q, const Invocation& p) {
+    (void)q;
+    return p.kind == Kind::kRead;
+  }
+
+  static Invocation write(std::int64_t v) { return {Kind::kWrite, v}; }
+  static Invocation read() { return {Kind::kRead, 0}; }
+};
+
+// Bounded FIFO queue with totalized dequeue (returns -1 on empty).
+struct QueueSpec {
+  enum class Kind : std::uint8_t { kEnq, kDeq };
+
+  struct Invocation {
+    Kind kind = Kind::kDeq;
+    std::int64_t value = 0;
+
+    friend bool operator==(const Invocation&, const Invocation&) = default;
+  };
+  using State = std::deque<std::int64_t>;
+  using Response = std::int64_t;
+
+  static State initial() { return {}; }
+
+  static std::pair<State, Response> apply(const State& s,
+                                          const Invocation& inv) {
+    State next = s;
+    if (inv.kind == Kind::kEnq) {
+      next.push_back(inv.value);
+      return {std::move(next), 0};
+    }
+    if (next.empty()) return {std::move(next), -1};
+    const Response front = next.front();
+    next.pop_front();
+    return {std::move(next), front};
+  }
+
+  static bool commutes(const Invocation&, const Invocation&) { return false; }
+  static bool overwrites(const Invocation&, const Invocation&) {
+    return false;
+  }
+
+  static Invocation enq(std::int64_t v) { return {Kind::kEnq, v}; }
+  static Invocation deq() { return {Kind::kDeq, 0}; }
+};
+
+}  // namespace apram

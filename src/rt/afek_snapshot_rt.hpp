@@ -1,0 +1,85 @@
+// Real-thread AADGMS (Afek et al.) wait-free snapshot — the helping-based
+// comparator of §2, on std::atomic-backed registers. See
+// snapshot/baselines/afek_snapshot.hpp for the algorithm description.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rt/register.hpp"
+
+namespace apram::rt {
+
+template <class T>
+class AfekSnapshotRT {
+ public:
+  using View = std::vector<std::optional<T>>;
+
+  struct Slot {
+    std::uint64_t seq = 0;
+    T value{};
+    View embedded;
+  };
+
+  explicit AfekSnapshotRT(int num_procs) : n_(num_procs) {
+    for (int p = 0; p < n_; ++p) {
+      slots_.push_back(std::make_unique<SWMRRegister<Slot>>(Slot{}));
+    }
+  }
+
+  int num_procs() const { return n_; }
+
+  View scan(int /*p*/) {
+    std::vector<std::uint64_t> moved(static_cast<std::size_t>(n_), 0);
+    std::vector<Slot> first(static_cast<std::size_t>(n_));
+    std::vector<Slot> second(static_cast<std::size_t>(n_));
+    for (;;) {
+      for (int q = 0; q < n_; ++q) {
+        first[static_cast<std::size_t>(q)] =
+            slots_[static_cast<std::size_t>(q)]->read();
+      }
+      for (int q = 0; q < n_; ++q) {
+        second[static_cast<std::size_t>(q)] =
+            slots_[static_cast<std::size_t>(q)]->read();
+      }
+      bool clean = true;
+      for (int q = 0; q < n_; ++q) {
+        const auto uq = static_cast<std::size_t>(q);
+        if (first[uq].seq != second[uq].seq) {
+          clean = false;
+          if (moved[uq] != 0 && moved[uq] != second[uq].seq) {
+            return second[uq].embedded;  // borrowed view (helping)
+          }
+          moved[uq] = second[uq].seq;
+        }
+      }
+      if (clean) {
+        View view(static_cast<std::size_t>(n_));
+        for (int q = 0; q < n_; ++q) {
+          const auto uq = static_cast<std::size_t>(q);
+          if (second[uq].seq != 0) view[uq] = second[uq].value;
+        }
+        return view;
+      }
+    }
+  }
+
+  void update(int p, T v) {
+    View embedded = scan(p);
+    const auto up = static_cast<std::size_t>(p);
+    const Slot& current = slots_[up]->read();
+    Slot next;
+    next.seq = current.seq + 1;
+    next.value = std::move(v);
+    next.embedded = std::move(embedded);
+    slots_[up]->write(std::move(next));
+  }
+
+ private:
+  int n_;
+  std::vector<std::unique_ptr<SWMRRegister<Slot>>> slots_;
+};
+
+}  // namespace apram::rt

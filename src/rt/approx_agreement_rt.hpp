@@ -1,0 +1,90 @@
+// Real-thread approximate agreement — the Figure 2 algorithm on
+// std::atomic-backed single-writer registers. Thread p may call only the
+// p-indexed entry points.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "agreement/approx_spec.hpp"
+#include "rt/register.hpp"
+#include "util/assert.hpp"
+
+namespace apram::rt {
+
+class ApproxAgreementRT {
+ public:
+  struct Entry {
+    double prefer = 0.0;
+    std::int64_t round = 0;  // 0 = ⊥
+  };
+
+  ApproxAgreementRT(int num_procs, double epsilon)
+      : n_(num_procs), eps_(epsilon) {
+    APRAM_CHECK(num_procs >= 1);
+    APRAM_CHECK(epsilon > 0.0);
+    for (int p = 0; p < n_; ++p) {
+      r_.push_back(std::make_unique<SWMRRegister<Entry>>(Entry{}));
+    }
+  }
+
+  int num_procs() const { return n_; }
+  double epsilon() const { return eps_; }
+
+  void input(int p, double x) {
+    const Entry mine = r_[static_cast<std::size_t>(p)]->read();
+    if (mine.round == 0) {
+      r_[static_cast<std::size_t>(p)]->write(Entry{x, 1});
+    }
+  }
+
+  // Figure 2's output loop; returns the decided value and, via out-param,
+  // the number of rounds the caller reached (for the harness).
+  double output(int p, std::int64_t* rounds_out = nullptr) {
+    bool advance = false;
+    for (;;) {
+      std::vector<Entry> entries;
+      entries.reserve(static_cast<std::size_t>(n_));
+      for (int q = 0; q < n_; ++q) {
+        entries.push_back(r_[static_cast<std::size_t>(q)]->read());
+      }
+      const Entry mine = entries[static_cast<std::size_t>(p)];
+      APRAM_CHECK_MSG(mine.round >= 1, "output() requires a prior input()");
+
+      std::int64_t max_round = 0;
+      for (const Entry& e : entries) max_round = std::max(max_round, e.round);
+
+      RealRange eligible;
+      RealRange leaders;
+      for (const Entry& e : entries) {
+        if (e.round == 0) continue;
+        if (e.round >= mine.round - 1) eligible.extend(e.prefer);
+        if (e.round == max_round) leaders.extend(e.prefer);
+      }
+
+      if (eligible.size() < eps_ / 2.0) {
+        if (rounds_out != nullptr) *rounds_out = mine.round;
+        return mine.prefer;
+      } else if (leaders.size() < eps_ / 2.0 || advance) {
+        r_[static_cast<std::size_t>(p)]->write(
+            Entry{leaders.midpoint(), mine.round + 1});
+        advance = false;
+      } else {
+        advance = true;
+      }
+    }
+  }
+
+  double decide(int p, double x) {
+    input(p, x);
+    return output(p);
+  }
+
+ private:
+  int n_;
+  double eps_;
+  std::vector<std::unique_ptr<SWMRRegister<Entry>>> r_;
+};
+
+}  // namespace apram::rt

@@ -1,0 +1,4 @@
+#include "rt/register.hpp"
+
+// The rt module's storage strategy (grow-only node stores inside
+// SWMRRegister) is header-only; this anchor compiles it standalone.

@@ -1,0 +1,82 @@
+// Real-thread double-collect snapshot baseline (see
+// snapshot/baselines/double_collect.hpp for the algorithm and its
+// obstruction-freedom caveat).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rt/register.hpp"
+
+namespace apram::rt {
+
+template <class T>
+class DoubleCollectSnapshotRT {
+ public:
+  struct Slot {
+    std::uint64_t tag = 0;
+    T value{};
+  };
+
+  explicit DoubleCollectSnapshotRT(int num_procs) : n_(num_procs) {
+    for (int p = 0; p < n_; ++p) {
+      slots_.push_back(std::make_unique<SWMRRegister<Slot>>(Slot{}));
+      tags_.push_back(std::make_unique<Tag>());
+    }
+  }
+
+  int num_procs() const { return n_; }
+
+  void update(int p, T v) {
+    const auto up = static_cast<std::size_t>(p);
+    slots_[up]->write(Slot{++tags_[up]->value, std::move(v)});
+  }
+
+  // Retries until a clean double collect. `attempts_out`, when provided,
+  // reports how many collect pairs were needed (the unbounded quantity that
+  // distinguishes this baseline from the wait-free scan).
+  std::vector<std::optional<T>> scan(int /*p*/,
+                                     std::uint64_t* attempts_out = nullptr) {
+    std::vector<Slot> first(static_cast<std::size_t>(n_));
+    std::vector<Slot> second(static_cast<std::size_t>(n_));
+    std::uint64_t attempts = 0;
+    for (;;) {
+      ++attempts;
+      for (int q = 0; q < n_; ++q) {
+        first[static_cast<std::size_t>(q)] =
+            slots_[static_cast<std::size_t>(q)]->read();
+      }
+      for (int q = 0; q < n_; ++q) {
+        second[static_cast<std::size_t>(q)] =
+            slots_[static_cast<std::size_t>(q)]->read();
+      }
+      bool clean = true;
+      for (int q = 0; q < n_ && clean; ++q) {
+        clean = first[static_cast<std::size_t>(q)].tag ==
+                second[static_cast<std::size_t>(q)].tag;
+      }
+      if (clean) {
+        if (attempts_out != nullptr) *attempts_out = attempts;
+        std::vector<std::optional<T>> view(static_cast<std::size_t>(n_));
+        for (int q = 0; q < n_; ++q) {
+          const Slot& s = second[static_cast<std::size_t>(q)];
+          if (s.tag != 0) view[static_cast<std::size_t>(q)] = s.value;
+        }
+        return view;
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) Tag {
+    std::uint64_t value = 0;
+  };
+
+  int n_;
+  std::vector<std::unique_ptr<SWMRRegister<Slot>>> slots_;
+  std::vector<std::unique_ptr<Tag>> tags_;
+};
+
+}  // namespace apram::rt

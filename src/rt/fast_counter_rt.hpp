@@ -1,0 +1,52 @@
+// Real-thread wait-free counter: per-thread contributions published through
+// the rt snapshot object (the type-optimized counter of §5.4's closing
+// remark, rt flavour). inc/dec are one atomic publication; read is one
+// snapshot scan plus a local sum.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/lattice_scan_rt.hpp"
+
+namespace apram::rt {
+
+class FastCounterRT {
+ public:
+  explicit FastCounterRT(int num_procs,
+                         ScanMode mode = ScanMode::kOptimized)
+      : snap_(num_procs, mode),
+        contribution_(static_cast<std::size_t>(num_procs)) {
+    for (auto& c : contribution_) c = std::make_unique<Cell>();
+  }
+
+  int num_procs() const { return snap_.num_procs(); }
+
+  void inc(int p, std::int64_t by = 1) { add(p, by); }
+  void dec(int p, std::int64_t by = 1) { add(p, -by); }
+
+  std::int64_t read(int p) {
+    std::int64_t sum = 0;
+    for (const auto& slot : snap_.scan(p)) {
+      if (slot.has_value()) sum += *slot;
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::int64_t value = 0;
+  };
+
+  void add(int p, std::int64_t delta) {
+    auto& mine = contribution_[static_cast<std::size_t>(p)]->value;
+    mine += delta;
+    snap_.update(p, mine);
+  }
+
+  AtomicSnapshotRT<std::int64_t> snap_;
+  std::vector<std::unique_ptr<Cell>> contribution_;
+};
+
+}  // namespace apram::rt

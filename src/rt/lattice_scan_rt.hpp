@@ -1,0 +1,161 @@
+// Real-thread implementation of the Figure 5 lattice scan and the snapshot
+// object built on it — the same algorithms as snapshot/lattice_scan.hpp and
+// snapshot/atomic_snapshot.hpp, on std::atomic-backed registers instead of
+// simulated ones. Thread p may call only the p-indexed entry points (the
+// single-writer discipline of the model).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lattice/lattice.hpp"
+#include "rt/register.hpp"
+#include "snapshot/lattice_scan.hpp"  // ScanMode
+
+namespace apram::rt {
+
+template <Semilattice L>
+class LatticeScanRT {
+ public:
+  using Value = typename L::Value;
+
+  explicit LatticeScanRT(int num_procs, ScanMode mode = ScanMode::kOptimized)
+      : n_(num_procs), mode_(mode) {
+    APRAM_CHECK(num_procs >= 1);
+    regs_.resize(static_cast<std::size_t>(n_));
+    for (auto& row : regs_) {
+      for (int i = 0; i <= n_ + 1; ++i) {
+        row.push_back(std::make_unique<SWMRRegister<Value>>(L::bottom()));
+      }
+    }
+    caches_.reserve(static_cast<std::size_t>(n_));
+    for (int p = 0; p < n_; ++p) {
+      caches_.push_back(std::make_unique<Cache>());
+      caches_.back()->row.assign(static_cast<std::size_t>(n_) + 2,
+                                 L::bottom());
+    }
+  }
+
+  int num_procs() const { return n_; }
+
+  // Figure 5; callable only by thread p.
+  Value scan(int p, Value v) {
+    auto& cache = caches_[static_cast<std::size_t>(p)]->row;
+
+    Value acc0 = std::move(v);
+    if (mode_ == ScanMode::kPlain) {
+      acc0 = L::join(std::move(acc0), reg(p, 0).read());
+    } else {
+      acc0 = L::join(std::move(acc0), cache[0]);
+    }
+    cache[0] = acc0;
+    reg(p, 0).write(std::move(acc0));
+
+    for (int i = 1; i <= n_ + 1; ++i) {
+      Value acc = cache[static_cast<std::size_t>(i)];
+      for (int q = 0; q < n_; ++q) {
+        if (q == p && mode_ == ScanMode::kOptimized) {
+          acc = L::join(std::move(acc), cache[static_cast<std::size_t>(i - 1)]);
+        } else {
+          acc = L::join(std::move(acc), reg(q, i - 1).read());
+        }
+      }
+      cache[static_cast<std::size_t>(i)] = acc;
+      if (i <= n_ || mode_ == ScanMode::kPlain) {
+        reg(p, i).write(std::move(acc));
+      }
+    }
+    return cache[static_cast<std::size_t>(n_) + 1];
+  }
+
+  void write_l(int p, Value v) { (void)scan(p, std::move(v)); }
+
+  Value read_max(int p) { return scan(p, L::bottom()); }
+
+  // One-write contribution (snapshot update path).
+  void post(int p, Value v) {
+    auto& cache = caches_[static_cast<std::size_t>(p)]->row;
+    Value acc = std::move(v);
+    if (mode_ == ScanMode::kPlain) {
+      acc = L::join(std::move(acc), reg(p, 0).read());
+    } else {
+      acc = L::join(std::move(acc), cache[0]);
+    }
+    cache[0] = acc;
+    reg(p, 0).write(std::move(acc));
+  }
+
+ private:
+  // Each thread's cache row lives on its own cache lines.
+  struct alignas(64) Cache {
+    std::vector<Value> row;
+  };
+
+  SWMRRegister<Value>& reg(int p, int i) {
+    return *regs_[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
+  }
+
+  int n_;
+  ScanMode mode_;
+  std::vector<std::vector<std::unique_ptr<SWMRRegister<Value>>>> regs_;
+  std::vector<std::unique_ptr<Cache>> caches_;
+};
+
+// Snapshot object on the tagged-vector lattice (end of §6), rt flavour.
+template <class T>
+class AtomicSnapshotRT {
+ public:
+  using Lattice = TaggedVectorLattice<T>;
+  using LatticeValue = typename Lattice::Value;
+
+  explicit AtomicSnapshotRT(int num_procs,
+                            ScanMode mode = ScanMode::kOptimized)
+      : n_(num_procs),
+        scan_(num_procs, mode),
+        next_tag_(static_cast<std::size_t>(num_procs)) {
+    for (auto& t : next_tag_) t = std::make_unique<Tag>();
+  }
+
+  int num_procs() const { return n_; }
+
+  void update(int p, T v) {
+    const std::uint64_t tag = ++next_tag_[static_cast<std::size_t>(p)]->value;
+    scan_.post(p, Lattice::singleton(static_cast<std::size_t>(n_),
+                                     static_cast<std::size_t>(p), tag,
+                                     std::move(v)));
+  }
+
+  std::vector<std::optional<T>> scan(int p) {
+    return unpack(scan_.read_max(p));
+  }
+
+  std::vector<std::optional<T>> update_and_scan(int p, T v) {
+    const std::uint64_t tag = ++next_tag_[static_cast<std::size_t>(p)]->value;
+    return unpack(scan_.scan(
+        p, Lattice::singleton(static_cast<std::size_t>(n_),
+                              static_cast<std::size_t>(p), tag,
+                              std::move(v))));
+  }
+
+ private:
+  struct alignas(64) Tag {
+    std::uint64_t value = 0;
+  };
+
+  std::vector<std::optional<T>> unpack(const LatticeValue& joined) const {
+    std::vector<std::optional<T>> view(static_cast<std::size_t>(n_));
+    for (std::size_t i = 0;
+         i < joined.size() && i < static_cast<std::size_t>(n_); ++i) {
+      if (joined[i].tag != 0) view[i] = joined[i].value;
+    }
+    return view;
+  }
+
+  int n_;
+  LatticeScanRT<Lattice> scan_;
+  std::vector<std::unique_ptr<Tag>> next_tag_;
+};
+
+}  // namespace apram::rt

@@ -1,0 +1,59 @@
+// Real-thread atomic registers (the `apram::rt` runtime).
+//
+// The paper's model assumes atomic registers large enough to hold whole
+// arrays ("numerous techniques exist for constructing large atomic registers
+// from smaller ones"). On real hardware we realize an arbitrarily large
+// single-writer multi-reader atomic register by publishing immutable nodes
+// through one std::atomic pointer:
+//
+//   * write (owner thread only): append the new value to a grow-only node
+//     store, then release-store its address. One atomic store.
+//   * read (any thread): one acquire-load, then dereference. Wait-free.
+//
+// Nodes are never mutated after publication and never freed before the
+// register is destroyed, mirroring the paper's unbounded-register
+// assumption (see DESIGN.md substitution table). std::deque guarantees
+// reference stability under push_back, and only the single writer touches
+// the deque structure, so reads race with nothing.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace apram::rt {
+
+template <class T>
+class SWMRRegister {
+ public:
+  explicit SWMRRegister(T initial) {
+    nodes_.push_back(std::move(initial));
+    current_.store(&nodes_.back(), std::memory_order_release);
+  }
+
+  SWMRRegister(const SWMRRegister&) = delete;
+  SWMRRegister& operator=(const SWMRRegister&) = delete;
+
+  // Any thread. Wait-free: one acquire load. The reference stays valid for
+  // the register's lifetime (nodes are immutable and never reclaimed).
+  const T& read() const {
+    return *current_.load(std::memory_order_acquire);
+  }
+
+  // Owner thread only (single writer). Wait-free: one release store.
+  void write(T v) {
+    nodes_.push_back(std::move(v));
+    current_.store(&nodes_.back(), std::memory_order_release);
+  }
+
+  // Space diagnostics: number of values ever written (incl. the initial).
+  std::size_t versions() const { return nodes_.size(); }
+
+ private:
+  std::deque<T> nodes_;
+  std::atomic<const T*> current_;
+};
+
+}  // namespace apram::rt

@@ -1,0 +1,61 @@
+#include "rt/thread_harness.hpp"
+
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace apram::rt {
+
+void parallel_run(int num_threads, const std::function<void(int)>& body) {
+  APRAM_CHECK(num_threads >= 1);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int pid = 0; pid < num_threads; ++pid) {
+    threads.emplace_back([&, pid] {
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      body(pid);
+    });
+  }
+  while (ready.load(std::memory_order_relaxed) < num_threads) {
+    std::this_thread::yield();
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+}
+
+ThroughputRun::ThroughputRun(int num_threads) : n_(num_threads) {}
+
+double ThroughputRun::run(std::chrono::milliseconds window,
+                          const std::function<void(int)>& body) {
+  ops_.assign(static_cast<std::size_t>(n_), 0);
+  std::atomic<bool> stop{false};
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::thread timer([&] {
+    std::this_thread::sleep_for(window);
+    stop.store(true, std::memory_order_release);
+  });
+  parallel_run(n_, [&](int pid) {
+    std::uint64_t count = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      body(pid);
+      ++count;
+    }
+    ops_[static_cast<std::size_t>(pid)] = count;
+  });
+  timer.join();
+
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  std::uint64_t total = 0;
+  for (auto c : ops_) total += c;
+  return static_cast<double>(total) / elapsed;
+}
+
+}  // namespace apram::rt

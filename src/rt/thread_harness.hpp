@@ -1,0 +1,36 @@
+// Small real-thread harness for stress tests and wall-time benchmarks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace apram::rt {
+
+// Runs body(pid) on `num_threads` threads, released simultaneously by a
+// start barrier, and joins them all. Exceptions escaping a body terminate
+// (concurrent test bodies must not throw).
+void parallel_run(int num_threads, const std::function<void(int)>& body);
+
+// Cooperative stop flag + per-thread op counters for throughput runs:
+// threads loop `while (!stop)` calling the operation under test; the main
+// thread sleeps for the measurement window and then raises stop.
+class ThroughputRun {
+ public:
+  explicit ThroughputRun(int num_threads);
+
+  // body(pid) performs ONE operation; returns total ops/sec and fills
+  // per-thread op counts.
+  double run(std::chrono::milliseconds window,
+             const std::function<void(int)>& body);
+
+  const std::vector<std::uint64_t>& ops_per_thread() const { return ops_; }
+
+ private:
+  int n_;
+  std::vector<std::uint64_t> ops_;
+};
+
+}  // namespace apram::rt

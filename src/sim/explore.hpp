@@ -1,0 +1,45 @@
+// Exhaustive schedule exploration — bounded model checking for the
+// simulator.
+//
+// For small programs, the space of schedules is small enough to enumerate
+// *completely*: every interleaving of atomic steps, including all crash-free
+// adversarial behaviours. explore_all_schedules() walks that space by
+// depth-first search over schedule prefixes, reconstructing each execution
+// deterministically through the Execution factory (the same replay mechanism
+// the Lemma 6 adversary uses), and invokes a caller-supplied check on every
+// completed execution.
+//
+// This turns randomized property tests into proofs-by-enumeration at small
+// sizes: e.g. "scan comparability holds under EVERY schedule of 2 updaters
+// and 1 scanner", not just the sampled ones.
+//
+// Cost: O(branches^depth) replays, each O(depth) steps — keep total steps
+// under ~20 and processes ≤ 3. The explorer prunes by process symmetry only
+// implicitly (none), so size limits are the caller's responsibility; an
+// explicit cap aborts loudly rather than silently truncating coverage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/replay.hpp"
+
+namespace apram::sim {
+
+struct ExploreStats {
+  std::uint64_t executions = 0;     // complete executions checked
+  std::uint64_t max_depth = 0;      // longest schedule seen
+};
+
+// Enumerates every schedule of the factory's world. For each complete
+// execution (all processes done), calls `check(execution, schedule)`; the
+// check should assert/record whatever property it cares about.
+//
+// `max_executions` guards against accidental explosion (aborts if hit).
+ExploreStats explore_all_schedules(
+    const ExecutionFactory& factory,
+    const std::function<void(Execution&, const std::vector<int>&)>& check,
+    std::uint64_t max_executions = 2'000'000);
+
+}  // namespace apram::sim

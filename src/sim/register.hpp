@@ -1,0 +1,87 @@
+// Shared atomic registers of the simulated asynchronous PRAM.
+//
+// A Register<T> is an atomic shared-memory cell. Processes access it only
+// through a Context (their capability object), and every access —
+// `co_await ctx.read(reg)` or `co_await ctx.write(reg, v)` — is exactly one
+// atomic step of the model: the process suspends, the scheduler grants it the
+// next step, and the access takes effect at the moment of resumption.
+//
+// Registers may optionally be declared single-writer (the common case in the
+// paper: "multi-reader, single-writer registers in which process P writes the
+// P-th array element"); writes by any other process abort the simulation.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "sim/coro.hpp"
+#include "util/assert.hpp"
+
+namespace apram::sim {
+
+class World;
+class Context;
+
+inline constexpr int kAnyWriter = -1;
+
+// Type-erased base so the World can own heterogeneous registers and give
+// them stable identities for tracing.
+class RegisterBase {
+ public:
+  RegisterBase(std::string name, int id, int writer)
+      : name_(std::move(name)), id_(id), writer_(writer) {}
+  virtual ~RegisterBase() = default;
+  RegisterBase(const RegisterBase&) = delete;
+  RegisterBase& operator=(const RegisterBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+  int writer() const { return writer_; }
+
+ private:
+  std::string name_;
+  int id_;
+  int writer_;  // pid of the unique writer, or kAnyWriter
+};
+
+template <class T>
+class Register final : public RegisterBase {
+ public:
+  Register(std::string name, int id, int writer, T initial)
+      : RegisterBase(std::move(name), id, writer),
+        value_(std::move(initial)) {}
+
+  // Raw, step-free access. Only for test setup/inspection and for the World;
+  // simulated processes must go through Context.
+  const T& peek() const { return value_; }
+  void poke(T v) { value_ = std::move(v); }
+
+ private:
+  friend class Context;
+  T value_;
+};
+
+// Context: handed to each process body; the only way simulated code touches
+// shared memory. Copyable by value but only valid while its World lives.
+class Context {
+ public:
+  Context() = default;
+  Context(World* world, int pid) : world_(world), pid_(pid) {}
+
+  int pid() const { return pid_; }
+  World& world() const { return *world_; }
+
+  template <class T>
+  auto read(const Register<T>& reg) const;
+
+  template <class T>
+  auto write(Register<T>& reg, T value) const;
+
+ private:
+  World* world_ = nullptr;
+  int pid_ = -1;
+};
+
+}  // namespace apram::sim

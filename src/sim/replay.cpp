@@ -1,0 +1,22 @@
+#include "sim/replay.hpp"
+
+namespace apram::sim {
+
+std::unique_ptr<Execution> replay(const ExecutionFactory& factory,
+                                  const std::vector<int>& prefix) {
+  auto exec = factory();
+  APRAM_CHECK(exec != nullptr);
+  FixedScheduler sched(prefix, FixedScheduler::Fallback::kStop);
+  exec->world().run(sched);
+  return exec;
+}
+
+std::unique_ptr<Execution> replay_then_solo(const ExecutionFactory& factory,
+                                            const std::vector<int>& prefix,
+                                            int pid, std::uint64_t solo_cap) {
+  auto exec = replay(factory, prefix);
+  exec->world().run_solo(pid, solo_cap);
+  return exec;
+}
+
+}  // namespace apram::sim

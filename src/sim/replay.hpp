@@ -1,0 +1,43 @@
+// Deterministic replay.
+//
+// Simulator executions are pure functions of (program, schedule). That makes
+// "what would process P return if it ran alone from here?" — the preference
+// oracle at the heart of the Lemma 6 adversary — computable without cloning
+// coroutine state: rebuild the world from its factory, replay the recorded
+// schedule prefix, then run P solo.
+//
+// An Execution bundles a World with whatever output slots the program under
+// test exposes; the factory must produce byte-identical behaviour on every
+// call (seeded RNGs only, no wall-clock or address-dependent logic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/world.hpp"
+
+namespace apram::sim {
+
+class Execution {
+ public:
+  virtual ~Execution() = default;
+  virtual World& world() = 0;
+};
+
+using ExecutionFactory = std::function<std::unique_ptr<Execution>()>;
+
+// Replays `prefix` (skipping entries for already-finished processes) on a
+// fresh execution and returns it, positioned right after the prefix.
+std::unique_ptr<Execution> replay(const ExecutionFactory& factory,
+                                  const std::vector<int>& prefix);
+
+// Replays `prefix`, then runs `pid` alone until its process completes.
+// Aborts if the solo run exceeds `solo_cap` steps (a wait-freedom failure).
+std::unique_ptr<Execution> replay_then_solo(
+    const ExecutionFactory& factory, const std::vector<int>& prefix, int pid,
+    std::uint64_t solo_cap = World::kDefaultMaxSteps);
+
+}  // namespace apram::sim

@@ -1,0 +1,66 @@
+#include "sim/scheduler.hpp"
+
+namespace apram::sim {
+
+int RoundRobinScheduler::pick(World& w) {
+  const int n = w.num_procs();
+  for (int i = 0; i < n; ++i) {
+    const int pid = (next_ + i) % n;
+    if (w.runnable(pid)) {
+      next_ = (pid + 1) % n;
+      return pid;
+    }
+  }
+  return -1;
+}
+
+int RandomScheduler::pick(World& w) {
+  if (stickiness_ > 0.0 && last_ >= 0 && w.runnable(last_) &&
+      rng_.chance(stickiness_)) {
+    return last_;
+  }
+  std::vector<int> runnable;
+  runnable.reserve(static_cast<std::size_t>(w.num_procs()));
+  for (int pid = 0; pid < w.num_procs(); ++pid) {
+    if (w.runnable(pid)) runnable.push_back(pid);
+  }
+  if (runnable.empty()) return -1;
+  last_ = runnable[rng_.below(runnable.size())];
+  return last_;
+}
+
+int FixedScheduler::pick(World& w) {
+  while (pos_ < schedule_.size()) {
+    const int pid = schedule_[pos_];
+    ++pos_;
+    if (pid >= 0 && pid < w.num_procs() && w.runnable(pid)) return pid;
+    // A scheduled pid that already finished (or crashed) is skipped: replay
+    // prefixes may extend past a process's completion point.
+  }
+  if (fallback_ == Fallback::kRoundRobin) return rr_.pick(w);
+  return -1;
+}
+
+int RecordingScheduler::pick(World& w) {
+  const int pid = inner_->pick(w);
+  if (pid >= 0) picks_.push_back(pid);
+  return pid;
+}
+
+CrashingScheduler::CrashingScheduler(
+    Scheduler& inner, std::vector<std::pair<std::uint64_t, int>> crashes)
+    : inner_(&inner) {
+  for (const auto& [step, pid] : crashes) crashes_.emplace(step, pid);
+}
+
+int CrashingScheduler::pick(World& w) {
+  // Fire all crashes whose trigger step has been reached.
+  while (!crashes_.empty() && crashes_.begin()->first <= w.global_step()) {
+    const int victim = crashes_.begin()->second;
+    crashes_.erase(crashes_.begin());
+    if (!w.done(victim)) w.crash(victim);
+  }
+  return inner_->pick(w);
+}
+
+}  // namespace apram::sim

@@ -1,0 +1,124 @@
+// Schedulers — the adversary's half of the asynchronous PRAM model.
+//
+// A Scheduler decides, before each atomic step, which runnable process moves
+// next. The model places no fairness constraints on this choice; wait-free
+// algorithms must terminate under *every* scheduler, including ones that
+// stall or crash other processes. The concrete schedulers here cover the
+// executions the paper's proofs quantify over:
+//
+//   RoundRobinScheduler   — fair interleaving (the "synchronous-ish" case)
+//   RandomScheduler       — seeded uniform interleavings, optionally biased
+//   FixedScheduler        — replays an explicit schedule (determinism/replay)
+//   RecordingScheduler    — wraps another scheduler and records its picks
+//   CrashingScheduler     — wraps another scheduler, crashing chosen pids at
+//                           chosen global steps (failure injection)
+//   SoloScheduler         — runs a single process to completion
+//
+// Programmable adversaries (e.g. the Lemma 6 lower-bound adversary) live
+// with the algorithms they attack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/world.hpp"
+#include "util/rng.hpp"
+
+namespace apram::sim {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  // Returns the pid of a runnable process to grant the next step, or -1 to
+  // stop the run. The World is passed mutably so failure-injecting and
+  // adversarial schedulers can crash processes.
+  virtual int pick(World& w) = 0;
+};
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  int pick(World& w) override;
+
+ private:
+  int next_ = 0;
+};
+
+// Uniform random over runnable processes; with `stickiness` in (0,1), the
+// previously scheduled process is rescheduled with that probability first,
+// producing bursty interleavings that stress algorithms differently from
+// pure uniform choice.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed, double stickiness = 0.0)
+      : rng_(seed), stickiness_(stickiness) {}
+
+  int pick(World& w) override;
+
+ private:
+  Rng rng_;
+  double stickiness_;
+  int last_ = -1;
+};
+
+// Replays a fixed pid sequence; after it is exhausted (or when the scheduled
+// pid is not runnable) behaviour depends on `fallback`:
+//   kStop       — pick() returns -1
+//   kRoundRobin — continue round-robin over runnable processes
+class FixedScheduler final : public Scheduler {
+ public:
+  enum class Fallback { kStop, kRoundRobin };
+
+  explicit FixedScheduler(std::vector<int> schedule,
+                          Fallback fallback = Fallback::kStop)
+      : schedule_(std::move(schedule)), fallback_(fallback) {}
+
+  int pick(World& w) override;
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::vector<int> schedule_;
+  std::size_t pos_ = 0;
+  Fallback fallback_;
+  RoundRobinScheduler rr_;
+};
+
+class RecordingScheduler final : public Scheduler {
+ public:
+  explicit RecordingScheduler(Scheduler& inner) : inner_(&inner) {}
+
+  int pick(World& w) override;
+
+  const std::vector<int>& picks() const { return picks_; }
+
+ private:
+  Scheduler* inner_;
+  std::vector<int> picks_;
+};
+
+// Crashes process `pid` just before global step `at_step` would be granted.
+class CrashingScheduler final : public Scheduler {
+ public:
+  CrashingScheduler(Scheduler& inner,
+                    std::vector<std::pair<std::uint64_t, int>> crashes);
+
+  int pick(World& w) override;
+
+ private:
+  Scheduler* inner_;
+  std::multimap<std::uint64_t, int> crashes_;  // step -> pid
+};
+
+class SoloScheduler final : public Scheduler {
+ public:
+  explicit SoloScheduler(int pid) : pid_(pid) {}
+  int pick(World& w) override {
+    return w.runnable(pid_) ? pid_ : -1;
+  }
+
+ private:
+  int pid_;
+};
+
+}  // namespace apram::sim

@@ -1,0 +1,133 @@
+#include "sim/world.hpp"
+
+#include "sim/scheduler.hpp"
+
+namespace apram::sim {
+
+World::World(int num_procs) {
+  APRAM_CHECK(num_procs > 0);
+  procs_.resize(static_cast<std::size_t>(num_procs));
+}
+
+World::~World() = default;
+
+void World::spawn(int pid, ProcessFn fn) {
+  Proc& p = proc(pid);
+  // A process may be re-spawned with a new program once its previous one
+  // completed (multi-phase test harnesses use this); overlapping programs
+  // and resurrecting crashed processes are errors.
+  APRAM_CHECK_MSG(!p.crashed, "crashed process cannot be re-spawned");
+  APRAM_CHECK_MSG(!p.task.valid() || p.done, "process spawned while running");
+  p.task = ProcessTask{};
+  p.done = false;
+  p.fn = std::move(fn);
+  p.task = p.fn(Context{this, pid});
+  APRAM_CHECK(p.task.valid());
+  p.resume_point = p.task.handle();
+  // Prime the coroutine: run the local (free) prefix of the body up to its
+  // first shared-memory access. Afterwards every scheduler grant performs
+  // exactly one atomic access, so steps == reads + writes.
+  p.resume_point.resume();
+  if (p.task.handle().done()) {
+    p.done = true;
+    p.task.check();
+  }
+}
+
+bool World::all_done() const {
+  for (const Proc& p : procs_) {
+    if (p.task.valid() && !p.done && !p.crashed) return false;
+  }
+  return true;
+}
+
+int World::num_runnable() const {
+  int n = 0;
+  for (int pid = 0; pid < num_procs(); ++pid) n += runnable(pid) ? 1 : 0;
+  return n;
+}
+
+void World::crash(int pid) { proc(pid).crashed = true; }
+
+void World::count_access(int pid, int register_id, bool is_write) {
+  Proc& p = proc(pid);
+  if (is_write) {
+    ++p.counts.writes;
+  } else {
+    ++p.counts.reads;
+  }
+  if (trace_enabled_) {
+    trace_.push_back(AccessEvent{global_step_, pid, register_id, is_write});
+  }
+  ++global_step_;
+}
+
+bool World::step(int pid) {
+  Proc& p = proc(pid);
+  APRAM_CHECK_MSG(p.task.valid(), "stepping an unspawned process");
+  APRAM_CHECK_MSG(!p.done, "stepping a finished process");
+  APRAM_CHECK_MSG(!p.crashed, "stepping a crashed process");
+  APRAM_CHECK(p.resume_point);
+
+  p.resume_point.resume();
+
+  if (p.task.handle().done()) {
+    p.done = true;
+    p.task.check();  // propagate any exception from the process body
+    return false;
+  }
+  return true;
+}
+
+RunResult World::run(Scheduler& sched, std::uint64_t max_steps) {
+  RunResult result;
+  while (!all_done()) {
+    APRAM_CHECK_MSG(result.steps_taken < max_steps,
+                    "run() exceeded max_steps: non-terminating execution "
+                    "(wait-freedom violation?)");
+    const int pid = sched.pick(*this);
+    if (pid < 0) break;  // scheduler declines to continue
+    APRAM_CHECK_MSG(runnable(pid), "scheduler picked a non-runnable process");
+    step(pid);
+    ++result.steps_taken;
+  }
+  result.all_done = all_done();
+  return result;
+}
+
+RunResult World::run_steps(Scheduler& sched, std::uint64_t steps) {
+  RunResult result;
+  while (result.steps_taken < steps && !all_done()) {
+    const int pid = sched.pick(*this);
+    if (pid < 0) break;
+    APRAM_CHECK_MSG(runnable(pid), "scheduler picked a non-runnable process");
+    step(pid);
+    ++result.steps_taken;
+  }
+  result.all_done = all_done();
+  return result;
+}
+
+RunResult World::run_solo(int pid, std::uint64_t max_steps) {
+  RunResult result;
+  while (runnable(pid)) {
+    APRAM_CHECK_MSG(result.steps_taken < max_steps,
+                    "run_solo() exceeded max_steps: process does not "
+                    "terminate in isolation");
+    step(pid);
+    ++result.steps_taken;
+  }
+  result.all_done = all_done();
+  return result;
+}
+
+StepCounts World::total_counts() const {
+  StepCounts total;
+  for (const Proc& p : procs_) {
+    total.reads += p.counts.reads;
+    total.writes += p.counts.writes;
+  }
+  return total;
+}
+
+}  // namespace apram::sim

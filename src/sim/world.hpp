@@ -1,0 +1,239 @@
+// World — the asynchronous PRAM machine.
+//
+// A World owns a set of shared registers and a set of processes (coroutines).
+// Execution proceeds in atomic steps: a Scheduler picks a runnable process,
+// the World resumes it, and the process performs exactly one shared-memory
+// access (read or write) before suspending again. This is precisely the
+// model of Section 3 of Aspnes & Herlihy: asynchronous processes whose only
+// interaction is atomic reads and writes of shared registers, interleaved in
+// an arbitrary (here: scheduler-chosen) order.
+//
+// The World counts reads and writes per process — the step-complexity
+// measure used by all the paper's theorems — and can optionally record a
+// full access trace for debugging and for history-based linearizability
+// checking.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/coro.hpp"
+#include "sim/register.hpp"
+#include "util/assert.hpp"
+
+namespace apram::sim {
+
+class Scheduler;
+
+// One entry of the optional access trace.
+struct AccessEvent {
+  std::uint64_t step;  // global step index (0-based)
+  int pid;
+  int register_id;
+  bool is_write;
+};
+
+// Per-process step counters.
+struct StepCounts {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t total() const { return reads + writes; }
+};
+
+// Outcome of World::run.
+struct RunResult {
+  bool all_done = false;          // every non-crashed process completed
+  std::uint64_t steps_taken = 0;  // scheduler grants performed during run()
+};
+
+class World {
+ public:
+  explicit World(int num_procs);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int num_procs() const { return static_cast<int>(procs_.size()); }
+
+  // --- Registers -----------------------------------------------------------
+
+  // Creates a register owned by this World; the reference stays valid for the
+  // World's lifetime. `writer` is the pid allowed to write it (kAnyWriter for
+  // multi-writer registers).
+  template <class T>
+  Register<T>& make_register(std::string name, T initial,
+                             int writer = kAnyWriter) {
+    auto reg = std::make_unique<Register<T>>(
+        std::move(name), static_cast<int>(registers_.size()), writer,
+        std::move(initial));
+    auto& ref = *reg;
+    registers_.push_back(std::move(reg));
+    return ref;
+  }
+
+  const RegisterBase& register_at(int id) const {
+    APRAM_CHECK(id >= 0 && id < static_cast<int>(registers_.size()));
+    return *registers_[static_cast<std::size_t>(id)];
+  }
+  int num_registers() const { return static_cast<int>(registers_.size()); }
+
+  // --- Processes -----------------------------------------------------------
+
+  using ProcessFn = std::function<ProcessTask(Context)>;
+
+  // Installs the body of process `pid`. The callable is kept alive until the
+  // process is re-spawned (coroutine frames reference the closure's
+  // captures). A process whose program completed may be spawned again with a
+  // fresh program — step counts accumulate across programs.
+  void spawn(int pid, ProcessFn fn);
+
+  bool spawned(int pid) const { return proc(pid).task.valid(); }
+  bool done(int pid) const { return proc(pid).done; }
+  bool crashed(int pid) const { return proc(pid).crashed; }
+  bool runnable(int pid) const {
+    const Proc& p = proc(pid);
+    return p.task.valid() && !p.done && !p.crashed;
+  }
+  bool all_done() const;
+  int num_runnable() const;
+
+  // Permanently halts a process (models a crash failure). Wait-free code run
+  // by the other processes must still complete.
+  void crash(int pid);
+
+  // --- Execution -----------------------------------------------------------
+
+  // Grants one atomic step to `pid`. Returns true if the process is still
+  // runnable afterwards.
+  bool step(int pid);
+
+  // Repeatedly asks `sched` for the next process until all processes finish,
+  // the scheduler declines (pick() < 0), or `max_steps` grants have been
+  // made. Exceeding max_steps with unfinished processes aborts: for the
+  // wait-free algorithms in this library that is a genuine bug, so tests set
+  // max_steps to the theoretical bound plus slack.
+  RunResult run(Scheduler& sched, std::uint64_t max_steps = kDefaultMaxSteps);
+
+  // Takes at most `steps` grants and then returns normally — for partial
+  // executions (schedule recording, bounded exploration). Unlike run(),
+  // reaching the step budget is not an error.
+  RunResult run_steps(Scheduler& sched, std::uint64_t steps);
+
+  // Convenience: run only `pid` until it completes (the "solo execution"
+  // used to define preferences in Lemma 6).
+  RunResult run_solo(int pid, std::uint64_t max_steps = kDefaultMaxSteps);
+
+  static constexpr std::uint64_t kDefaultMaxSteps = 100'000'000;
+
+  // --- Accounting ----------------------------------------------------------
+
+  const StepCounts& counts(int pid) const { return proc(pid).counts; }
+  StepCounts total_counts() const;
+  std::uint64_t global_step() const { return global_step_; }
+
+  void set_trace(bool on) { trace_enabled_ = on; }
+  const std::vector<AccessEvent>& trace() const { return trace_; }
+
+ private:
+  friend class Context;
+  template <class T>
+  friend struct ReadAwaiter;
+  template <class T>
+  friend struct WriteAwaiter;
+
+  struct Proc {
+    ProcessFn fn;  // keeps the closure alive
+    ProcessTask task;
+    std::coroutine_handle<> resume_point;
+    bool done = false;
+    bool crashed = false;
+    StepCounts counts;
+  };
+
+  Proc& proc(int pid) {
+    APRAM_CHECK(pid >= 0 && pid < static_cast<int>(procs_.size()));
+    return procs_[static_cast<std::size_t>(pid)];
+  }
+  const Proc& proc(int pid) const {
+    APRAM_CHECK(pid >= 0 && pid < static_cast<int>(procs_.size()));
+    return procs_[static_cast<std::size_t>(pid)];
+  }
+
+  // Called from access awaiters.
+  void note_suspend(int pid, std::coroutine_handle<> h) {
+    proc(pid).resume_point = h;
+  }
+  void count_access(int pid, int register_id, bool is_write);
+  void check_write_allowed(int pid, const RegisterBase& reg) {
+    APRAM_CHECK_MSG(
+        reg.writer() == kAnyWriter || reg.writer() == pid,
+        "single-writer register written by a foreign process");
+  }
+
+  std::vector<Proc> procs_;
+  std::vector<std::unique_ptr<RegisterBase>> registers_;
+  std::uint64_t global_step_ = 0;
+  bool trace_enabled_ = false;
+  std::vector<AccessEvent> trace_;
+};
+
+// ---------------------------------------------------------------------------
+// Access awaiters (implementation of Context::read / Context::write)
+// ---------------------------------------------------------------------------
+//
+// The access happens in await_resume, i.e. at the instant the scheduler
+// grants the step — not when the process decides to make it. Everything the
+// process computes between two accesses is local and free, matching the
+// PRAM cost model where only shared-memory operations are counted.
+
+template <class T>
+struct ReadAwaiter {
+  World* world;
+  int pid;
+  const Register<T>* reg;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    world->note_suspend(pid, h);
+  }
+  T await_resume() {
+    world->count_access(pid, reg->id(), /*is_write=*/false);
+    return reg->peek();
+  }
+};
+
+template <class T>
+struct WriteAwaiter {
+  World* world;
+  int pid;
+  Register<T>* reg;
+  T value;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    world->note_suspend(pid, h);
+  }
+  void await_resume() {
+    world->check_write_allowed(pid, *reg);
+    world->count_access(pid, reg->id(), /*is_write=*/true);
+    reg->poke(std::move(value));
+  }
+};
+
+template <class T>
+auto Context::read(const Register<T>& reg) const {
+  APRAM_CHECK(world_ != nullptr);
+  return ReadAwaiter<T>{world_, pid_, &reg};
+}
+
+template <class T>
+auto Context::write(Register<T>& reg, T value) const {
+  APRAM_CHECK(world_ != nullptr);
+  return WriteAwaiter<T>{world_, pid_, &reg, std::move(value)};
+}
+
+}  // namespace apram::sim

@@ -1,0 +1,100 @@
+// Baseline: the Afek–Attiya–Dolev–Gafni–Merritt–Shavit wait-free snapshot
+// ("Atomic snapshots of shared memory", 1990 — reference [2] of the paper,
+// described there as having "time complexity comparable to ours").
+//
+// Each slot register holds (value, seq, embedded view). update performs an
+// embedded scan and writes it alongside the new value; scan repeatedly
+// double-collects, and if some process is seen to move *twice*, borrows that
+// process's embedded view — which is guaranteed to have been taken inside
+// the scan's own window. Both operations are wait-free with O(n²) reads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace apram {
+
+template <class T>
+class AfekSnapshotSim {
+ public:
+  using View = std::vector<std::optional<T>>;
+
+  struct Slot {
+    std::uint64_t seq = 0;  // 0 = never written
+    T value{};
+    View embedded;  // scan taken during the update that wrote this slot
+  };
+
+  AfekSnapshotSim(sim::World& world, int num_procs,
+                  const std::string& name = "afek")
+      : n_(num_procs) {
+    for (int p = 0; p < n_; ++p) {
+      slots_.push_back(&world.make_register<Slot>(
+          name + ".slot[" + std::to_string(p) + "]", Slot{}, /*writer=*/p));
+    }
+  }
+
+  int num_procs() const { return n_; }
+
+  // Wait-free scan: at most n+1 double collects (each retry pins a distinct
+  // mover; after n+1 retries some process moved twice).
+  sim::SimCoro<View> scan(sim::Context ctx) {
+    std::vector<std::uint64_t> moved(static_cast<std::size_t>(n_), 0);
+    std::vector<Slot> first(static_cast<std::size_t>(n_));
+    std::vector<Slot> second(static_cast<std::size_t>(n_));
+    for (;;) {
+      for (int q = 0; q < n_; ++q) {
+        Slot s = co_await ctx.read(*slots_[static_cast<std::size_t>(q)]);
+        first[static_cast<std::size_t>(q)] = s;
+      }
+      for (int q = 0; q < n_; ++q) {
+        Slot s = co_await ctx.read(*slots_[static_cast<std::size_t>(q)]);
+        second[static_cast<std::size_t>(q)] = s;
+      }
+      bool clean = true;
+      for (int q = 0; q < n_; ++q) {
+        const auto uq = static_cast<std::size_t>(q);
+        if (first[uq].seq != second[uq].seq) {
+          clean = false;
+          if (moved[uq] != 0 && moved[uq] != second[uq].seq) {
+            // q moved twice during this scan: its latest embedded view was
+            // taken entirely within our window — linearize there.
+            co_return second[uq].embedded;
+          }
+          moved[uq] = second[uq].seq;
+        }
+      }
+      if (clean) {
+        View view(static_cast<std::size_t>(n_));
+        for (int q = 0; q < n_; ++q) {
+          const auto uq = static_cast<std::size_t>(q);
+          if (second[uq].seq != 0) view[uq] = second[uq].value;
+        }
+        co_return view;
+      }
+    }
+  }
+
+  // update = embedded scan + one write (the "helping" that makes scans
+  // borrowable).
+  sim::SimCoro<void> update(sim::Context ctx, T v) {
+    View embedded = co_await scan(ctx);
+    const auto pid = static_cast<std::size_t>(ctx.pid());
+    Slot current = co_await ctx.read(*slots_[pid]);
+    Slot next;
+    next.seq = current.seq + 1;
+    next.value = std::move(v);
+    next.embedded = std::move(embedded);
+    co_await ctx.write(*slots_[pid], std::move(next));
+  }
+
+ private:
+  int n_;
+  std::vector<sim::Register<Slot>*> slots_;
+};
+
+}  // namespace apram

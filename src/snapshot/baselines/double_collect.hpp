@@ -1,0 +1,89 @@
+// Baseline: double-collect snapshot (simulated).
+//
+// The folklore algorithm the paper's snapshot improves on: a scan collects
+// all n slots twice and retries until two consecutive collects are
+// identical (comparing per-slot tags). Updates are a single tagged write.
+//
+// This is only *obstruction-free*: a scanner running alone finishes in 2n
+// reads, but concurrent updaters can force it to retry forever — the
+// starvation that wait-freedom (and E5's adversarial experiment) is about.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace apram {
+
+template <class T>
+class DoubleCollectSnapshotSim {
+ public:
+  struct Slot {
+    std::uint64_t tag = 0;  // 0 = never written
+    T value{};
+  };
+
+  DoubleCollectSnapshotSim(sim::World& world, int num_procs,
+                           const std::string& name = "dcoll")
+      : n_(num_procs), next_tag_(static_cast<std::size_t>(num_procs), 1) {
+    for (int p = 0; p < n_; ++p) {
+      slots_.push_back(&world.make_register<Slot>(
+          name + ".slot[" + std::to_string(p) + "]", Slot{}, /*writer=*/p));
+    }
+  }
+
+  int num_procs() const { return n_; }
+
+  // One shared write.
+  sim::SimCoro<void> update(sim::Context ctx, T v) {
+    const auto pid = static_cast<std::size_t>(ctx.pid());
+    co_await ctx.write(*slots_[pid], Slot{next_tag_[pid]++, std::move(v)});
+  }
+
+  // Retries until a clean double collect; `max_attempts` bounds the retries
+  // (0 = unbounded). Returns nullopt if the bound is exhausted — the
+  // behaviour wait-free algorithms never exhibit.
+  sim::SimCoro<std::optional<std::vector<std::optional<T>>>> scan(
+      sim::Context ctx, int max_attempts = 0) {
+    std::vector<Slot> first(static_cast<std::size_t>(n_));
+    std::vector<Slot> second(static_cast<std::size_t>(n_));
+    for (int attempt = 0; max_attempts == 0 || attempt < max_attempts;
+         ++attempt) {
+      for (int q = 0; q < n_; ++q) {
+        Slot s = co_await ctx.read(*slots_[static_cast<std::size_t>(q)]);
+        first[static_cast<std::size_t>(q)] = s;
+      }
+      for (int q = 0; q < n_; ++q) {
+        Slot s = co_await ctx.read(*slots_[static_cast<std::size_t>(q)]);
+        second[static_cast<std::size_t>(q)] = s;
+      }
+      bool clean = true;
+      for (int q = 0; q < n_; ++q) {
+        if (first[static_cast<std::size_t>(q)].tag !=
+            second[static_cast<std::size_t>(q)].tag) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) {
+        std::vector<std::optional<T>> view(static_cast<std::size_t>(n_));
+        for (int q = 0; q < n_; ++q) {
+          const Slot& s = second[static_cast<std::size_t>(q)];
+          if (s.tag != 0) view[static_cast<std::size_t>(q)] = s.value;
+        }
+        co_return view;
+      }
+    }
+    co_return std::nullopt;
+  }
+
+ private:
+  int n_;
+  std::vector<sim::Register<Slot>*> slots_;
+  std::vector<std::uint64_t> next_tag_;
+};
+
+}  // namespace apram

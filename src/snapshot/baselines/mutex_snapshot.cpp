@@ -1,0 +1,3 @@
+#include "snapshot/baselines/mutex_snapshot.hpp"
+
+// Header-only; anchor translation unit.

@@ -1,0 +1,40 @@
+// Baseline: blocking snapshot (real threads only).
+//
+// A std::mutex around a plain array — the conventional-synchronization
+// strawman the wait-free condition explicitly rules out ("the failure or
+// delay of a single process within a critical section ... will prevent the
+// non-faulty processes from making progress"). Included as the E5 wall-time
+// baseline and to document what wait-freedom costs relative to locks when
+// nothing goes wrong.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace apram::rt {
+
+template <class T>
+class MutexSnapshot {
+ public:
+  explicit MutexSnapshot(int num_procs)
+      : slots_(static_cast<std::size_t>(num_procs)) {}
+
+  int num_procs() const { return static_cast<int>(slots_.size()); }
+
+  void update(int p, T v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[static_cast<std::size_t>(p)] = std::move(v);
+  }
+
+  std::vector<std::optional<T>> scan(int /*p*/) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::optional<T>> slots_;
+};
+
+}  // namespace apram::rt

@@ -1,0 +1,29 @@
+#include "snapshot/scan_stats.hpp"
+
+namespace apram {
+
+std::uint64_t expected_scan_reads(int n, ScanMode mode) {
+  const auto un = static_cast<std::uint64_t>(n);
+  switch (mode) {
+    case ScanMode::kPlain:
+      return un * un + un + 1;  // 1 + n reads in each of n+1 passes
+    case ScanMode::kOptimized:
+      return un * un - 1;  // (n+1)(n-1): self-reads served from cache
+  }
+  APRAM_CHECK_MSG(false, "unknown ScanMode");
+  return 0;
+}
+
+std::uint64_t expected_scan_writes(int n, ScanMode mode) {
+  const auto un = static_cast<std::uint64_t>(n);
+  switch (mode) {
+    case ScanMode::kPlain:
+      return un + 2;  // level-0 write + one per pass
+    case ScanMode::kOptimized:
+      return un + 1;  // final pass returns locally instead of writing
+  }
+  APRAM_CHECK_MSG(false, "unknown ScanMode");
+  return 0;
+}
+
+}  // namespace apram

@@ -1,0 +1,4 @@
+#include "util/rng.hpp"
+
+// Header-only; this translation unit exists so the target has a definition
+// anchor and the header is compiled standalone at least once.

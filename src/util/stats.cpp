@@ -1,0 +1,34 @@
+#include "util/stats.hpp"
+
+namespace apram {
+
+double percentile(std::vector<double> samples, double q) {
+  APRAM_CHECK(!samples.empty());
+  APRAM_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double linear_slope(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  APRAM_CHECK(x.size() == y.size());
+  APRAM_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  APRAM_CHECK_MSG(denom != 0.0, "degenerate x values in linear_slope");
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace apram

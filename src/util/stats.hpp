@@ -1,0 +1,50 @@
+// Small statistics helpers used by tests and the experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace apram {
+
+// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch percentile computation over a sample vector.
+// q in [0, 1]; uses linear interpolation between order statistics.
+double percentile(std::vector<double> samples, double q);
+
+// Least-squares slope of y against x. Used by benches to report the measured
+// growth exponent/coefficient (e.g. rounds per doubling of delta/epsilon).
+double linear_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace apram

@@ -1,0 +1,39 @@
+// Plain-text table rendering for the experiment harness.
+//
+// Every bench binary prints its results as one or more of these tables so the
+// paper-shaped output (rows of parameters and measured quantities) is easy to
+// eyeball and to diff between runs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace apram {
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> columns);
+
+  // Row assembly: call add_* once per column, then end_row().
+  Table& add(std::string cell);
+  Table& add(std::int64_t v);
+  Table& add(std::uint64_t v);
+  Table& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  Table& add(double v, int precision = 3);
+  Table& end_row();
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace apram

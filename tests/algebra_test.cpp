@@ -1,0 +1,266 @@
+// Tests for the §5.1–5.2 algebra: declared commute/overwrite tables checked
+// against Definitions 10–11 over randomized reachable states; Property 1 for
+// the constructible specs; Property-1 *failure* for the consensus-strength
+// negative examples; Lemma 12 (overwrites transitivity) and Lemma 15
+// (dominance is a strict partial order).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algebra/check.hpp"
+#include "algebra/spec.hpp"
+#include "objects/specs.hpp"
+#include "util/rng.hpp"
+
+namespace apram {
+namespace {
+
+// Random invocation generators per spec.
+template <class S>
+struct GenInv;
+
+template <>
+struct GenInv<CounterSpec> {
+  static CounterSpec::Invocation inv(Rng& rng) {
+    switch (rng.below(4)) {
+      case 0: return CounterSpec::inc(rng.range(0, 5));
+      case 1: return CounterSpec::dec(rng.range(0, 5));
+      case 2: return CounterSpec::reset(rng.range(-3, 3));
+      default: return CounterSpec::read();
+    }
+  }
+};
+
+template <>
+struct GenInv<GrowSetSpec> {
+  static GrowSetSpec::Invocation inv(Rng& rng) {
+    switch (rng.below(3)) {
+      case 0: return GrowSetSpec::insert(rng.range(0, 6));
+      case 1: return GrowSetSpec::has(rng.range(0, 6));
+      default: return GrowSetSpec::size();
+    }
+  }
+};
+
+template <>
+struct GenInv<MaxRegisterSpec> {
+  static MaxRegisterSpec::Invocation inv(Rng& rng) {
+    if (rng.chance(0.5)) return MaxRegisterSpec::write_max(rng.range(0, 20));
+    return MaxRegisterSpec::read();
+  }
+};
+
+template <>
+struct GenInv<StickyRegisterSpec> {
+  static StickyRegisterSpec::Invocation inv(Rng& rng) {
+    if (rng.chance(0.5)) return StickyRegisterSpec::write(rng.range(0, 5));
+    return StickyRegisterSpec::read();
+  }
+};
+
+template <>
+struct GenInv<QueueSpec> {
+  static QueueSpec::Invocation inv(Rng& rng) {
+    if (rng.chance(0.5)) return QueueSpec::enq(rng.range(0, 5));
+    return QueueSpec::deq();
+  }
+};
+
+// Reachable state: apply a short random invocation sequence.
+template <class S>
+typename S::State random_state(Rng& rng) {
+  auto s = S::initial();
+  const auto len = rng.below(6);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    s = S::apply(s, GenInv<S>::inv(rng)).first;
+  }
+  return s;
+}
+
+template <class S>
+class ConstructibleAlgebra : public ::testing::Test {};
+
+using ConstructibleSpecs =
+    ::testing::Types<CounterSpec, GrowSetSpec, MaxRegisterSpec>;
+TYPED_TEST_SUITE(ConstructibleAlgebra, ConstructibleSpecs);
+
+constexpr int kTrials = 800;
+
+TYPED_TEST(ConstructibleAlgebra, DeclaredRelationsMatchDefinitions) {
+  Rng rng(301);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto s = random_state<TypeParam>(rng);
+    const auto p = GenInv<TypeParam>::inv(rng);
+    const auto q = GenInv<TypeParam>::inv(rng);
+    const auto v = validate_pair_at<TypeParam>(s, p, q);
+    EXPECT_TRUE(v.declared_consistent)
+        << "declared commute/overwrite violated at a reachable state";
+  }
+}
+
+TYPED_TEST(ConstructibleAlgebra, Property1HoldsSemantically) {
+  Rng rng(302);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto s = random_state<TypeParam>(rng);
+    const auto p = GenInv<TypeParam>::inv(rng);
+    const auto q = GenInv<TypeParam>::inv(rng);
+    EXPECT_TRUE(validate_pair_at<TypeParam>(s, p, q).property1);
+  }
+}
+
+TYPED_TEST(ConstructibleAlgebra, Property1HoldsAtDeclarationLevel) {
+  Rng rng(303);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto p = GenInv<TypeParam>::inv(rng);
+    const auto q = GenInv<TypeParam>::inv(rng);
+    EXPECT_TRUE(declared_property1<TypeParam>(p, q));
+  }
+}
+
+// Lemma 12: overwrites is transitive (checked on the declaration tables,
+// which the universal construction consumes).
+TYPED_TEST(ConstructibleAlgebra, OverwritesIsTransitive) {
+  Rng rng(304);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto p = GenInv<TypeParam>::inv(rng);
+    const auto q = GenInv<TypeParam>::inv(rng);
+    const auto r = GenInv<TypeParam>::inv(rng);
+    if (TypeParam::overwrites(r, q) && TypeParam::overwrites(q, p)) {
+      EXPECT_TRUE(TypeParam::overwrites(r, p));
+    }
+  }
+}
+
+// Lemma 15: dominance is a strict partial order.
+TYPED_TEST(ConstructibleAlgebra, DominanceIsStrictPartialOrder) {
+  Rng rng(305);
+  for (int t = 0; t < kTrials; ++t) {
+    const auto p = GenInv<TypeParam>::inv(rng);
+    const auto q = GenInv<TypeParam>::inv(rng);
+    const auto r = GenInv<TypeParam>::inv(rng);
+    const int pp = static_cast<int>(rng.below(4));
+    const int qp = static_cast<int>(rng.below(4));
+    const int rp = static_cast<int>(rng.below(4));
+
+    // Irreflexive (same op, same process).
+    EXPECT_FALSE((dominates<TypeParam>(p, pp, p, pp)));
+    // Antisymmetric.
+    if (dominates<TypeParam>(p, pp, q, qp)) {
+      EXPECT_FALSE((dominates<TypeParam>(q, qp, p, pp)));
+    }
+    // Transitive.
+    if (dominates<TypeParam>(r, rp, q, qp) &&
+        dominates<TypeParam>(q, qp, p, pp)) {
+      EXPECT_TRUE((dominates<TypeParam>(r, rp, p, pp)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Negative examples: consensus-strength specs must violate Property 1.
+// ---------------------------------------------------------------------------
+
+TEST(NegativeSpecs, StickyRegisterViolatesProperty1) {
+  // Two writes of different values: neither commute nor overwrite.
+  const auto w1 = StickyRegisterSpec::write(1);
+  const auto w2 = StickyRegisterSpec::write(2);
+  const auto s = StickyRegisterSpec::initial();
+  EXPECT_FALSE((commutes_at<StickyRegisterSpec>(s, w1, w2)));
+  EXPECT_FALSE((overwrites_at<StickyRegisterSpec>(s, w1, w2)));
+  EXPECT_FALSE((overwrites_at<StickyRegisterSpec>(s, w2, w1)));
+  EXPECT_FALSE((declared_property1<StickyRegisterSpec>(w1, w2)));
+}
+
+TEST(NegativeSpecs, QueueViolatesProperty1) {
+  const auto e1 = QueueSpec::enq(1);
+  const auto e2 = QueueSpec::enq(2);
+  const auto s = QueueSpec::initial();
+  EXPECT_FALSE((commutes_at<QueueSpec>(s, e1, e2)));
+  EXPECT_FALSE((overwrites_at<QueueSpec>(s, e1, e2)));
+  EXPECT_FALSE((overwrites_at<QueueSpec>(s, e2, e1)));
+}
+
+TEST(NegativeSpecs, QueueDeqDoesNotCommuteWithEnqOnEmpty) {
+  const auto s = QueueSpec::initial();
+  EXPECT_FALSE((commutes_at<QueueSpec>(s, QueueSpec::enq(7), QueueSpec::deq())));
+}
+
+// The declared tables of the negative specs are still *sound* (they only
+// declare what is semantically true) — they are just not total enough to
+// satisfy Property 1.
+TEST(NegativeSpecs, DeclaredTablesAreSound) {
+  Rng rng(307);
+  for (int t = 0; t < kTrials; ++t) {
+    {
+      const auto s = random_state<StickyRegisterSpec>(rng);
+      const auto p = GenInv<StickyRegisterSpec>::inv(rng);
+      const auto q = GenInv<StickyRegisterSpec>::inv(rng);
+      EXPECT_TRUE((validate_pair_at<StickyRegisterSpec>(s, p, q))
+                      .declared_consistent);
+    }
+    {
+      const auto s = random_state<QueueSpec>(rng);
+      const auto p = GenInv<QueueSpec>::inv(rng);
+      const auto q = GenInv<QueueSpec>::inv(rng);
+      EXPECT_TRUE((validate_pair_at<QueueSpec>(s, p, q)).declared_consistent);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spot checks of the intended algebra (documented examples from the paper).
+// ---------------------------------------------------------------------------
+
+TEST(CounterAlgebra, PaperExamples) {
+  using C = CounterSpec;
+  // "inc and dec operations commute"
+  EXPECT_TRUE(C::commutes(C::inc(2), C::dec(3)));
+  EXPECT_TRUE(C::commutes(C::inc(1), C::inc(1)));
+  // "every operation overwrites read"
+  EXPECT_TRUE(C::overwrites(C::inc(1), C::read()));
+  EXPECT_TRUE(C::overwrites(C::reset(0), C::read()));
+  EXPECT_TRUE(C::overwrites(C::read(), C::read()));
+  // "reset overwrites every operation"
+  EXPECT_TRUE(C::overwrites(C::reset(5), C::inc(1)));
+  EXPECT_TRUE(C::overwrites(C::reset(5), C::reset(9)));
+  // read does not overwrite a mutation
+  EXPECT_FALSE(C::overwrites(C::read(), C::inc(1)));
+}
+
+TEST(CounterAlgebra, DominanceExamples) {
+  using C = CounterSpec;
+  // reset dominates inc regardless of pid order.
+  EXPECT_TRUE((dominates<C>(C::reset(0), 0, C::inc(1), 5)));
+  EXPECT_FALSE((dominates<C>(C::inc(1), 5, C::reset(0), 0)));
+  // mutual overwriting (two resets) breaks ties by pid.
+  EXPECT_TRUE((dominates<C>(C::reset(1), 3, C::reset(2), 1)));
+  EXPECT_FALSE((dominates<C>(C::reset(1), 1, C::reset(2), 3)));
+  // commuting incs: no dominance either way.
+  EXPECT_FALSE((dominates<C>(C::inc(1), 0, C::inc(1), 1)));
+  EXPECT_FALSE((dominates<C>(C::inc(1), 1, C::inc(1), 0)));
+}
+
+TEST(RunSequential, CounterHistory) {
+  using C = CounterSpec;
+  const std::vector<C::Invocation> invs{C::inc(5), C::dec(2), C::read(),
+                                        C::reset(10), C::read()};
+  const auto run = run_sequential<C>(invs);
+  EXPECT_EQ(run.final_state, 10);
+  ASSERT_EQ(run.responses.size(), 5u);
+  EXPECT_EQ(run.responses[2], 3);
+  EXPECT_EQ(run.responses[4], 10);
+}
+
+TEST(RunSequential, GrowSetHistory) {
+  using G = GrowSetSpec;
+  const std::vector<G::Invocation> invs{G::insert(1), G::insert(1),
+                                        G::insert(2), G::has(1), G::has(9),
+                                        G::size()};
+  const auto run = run_sequential<G>(invs);
+  EXPECT_EQ(run.responses[3], 1);
+  EXPECT_EQ(run.responses[4], 0);
+  EXPECT_EQ(run.responses[5], 2);
+}
+
+}  // namespace
+}  // namespace apram

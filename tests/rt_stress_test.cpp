@@ -1,0 +1,195 @@
+// Real-thread stress tests with post-hoc linearizability checking.
+//
+// Threads hammer the rt objects while every operation's invocation/response
+// window is timestamped from a global atomic counter; the recorded histories
+// then go through the same Wing–Gong checker the simulator histories use.
+// On a single core these interleavings come from preemption; on many cores
+// from true parallelism — either way the checker accepts only genuinely
+// linearizable behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "lincheck/checker.hpp"
+#include "objects/specs.hpp"
+#include "rt/afek_snapshot_rt.hpp"
+#include "rt/fast_counter_rt.hpp"
+#include "rt/lattice_scan_rt.hpp"
+#include "rt/thread_harness.hpp"
+
+namespace apram::rt {
+namespace {
+
+// Thread-safe history recorder with atomic timestamps. Windows are
+// [t_before_call, t_after_call] on a shared logical clock, which safely
+// over-approximates concurrency (never misses real-time precedence).
+template <class Spec>
+class RtRecorder {
+ public:
+  std::size_t begin(int pid, typename Spec::Invocation inv) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.push_back(RecordedOp<Spec>{pid, std::move(inv), {},
+                                    clock_.fetch_add(1), kPending});
+    return ops_.size() - 1;
+  }
+  void end(std::size_t token, typename Spec::Response resp) {
+    const std::uint64_t now = clock_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_[token].resp = std::move(resp);
+    ops_[token].respond_time = now;
+  }
+  std::vector<RecordedOp<Spec>> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(ops_);
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{1};
+  std::mutex mu_;
+  std::vector<RecordedOp<Spec>> ops_;
+};
+
+using C = CounterSpec;
+
+TEST(RtStress, FastCounterHistoriesAreLinearizable) {
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 3;
+    FastCounterRT ctr(n);
+    RtRecorder<C> rec;
+    parallel_run(n, [&](int pid) {
+      for (int i = 0; i < 3; ++i) {
+        {
+          const auto tok = rec.begin(pid, C::inc(1));
+          ctr.inc(pid, 1);
+          rec.end(tok, 0);
+        }
+        {
+          const auto tok = rec.begin(pid, C::read());
+          const std::int64_t v = ctr.read(pid);
+          rec.end(tok, v);
+        }
+      }
+    });
+    auto history = rec.take();
+    ASSERT_LE(history.size(), 64u);
+    EXPECT_TRUE(is_linearizable<C>(std::move(history))) << "trial " << trial;
+  }
+}
+
+TEST(RtStress, FastCounterConservationUnderLoad) {
+  const int n = 4;
+  FastCounterRT ctr(n);
+  ThroughputRun tr(n);
+  (void)tr.run(std::chrono::milliseconds(60), [&](int pid) {
+    ctr.inc(pid, 1);
+  });
+  std::uint64_t total = 0;
+  for (auto c : tr.ops_per_thread()) total += c;
+  EXPECT_EQ(ctr.read(0), static_cast<std::int64_t>(total));
+}
+
+// Snapshot spec over 3 slots for the rt snapshot objects.
+struct SnapSpec {
+  static constexpr int kSlots = 3;
+  enum class Kind : std::uint8_t { kUpdate, kScan };
+  struct Invocation {
+    Kind kind = Kind::kScan;
+    int pid = 0;
+    std::int64_t value = 0;
+    friend bool operator==(const Invocation&, const Invocation&) = default;
+  };
+  using State = std::vector<std::int64_t>;
+  using Response = std::vector<std::int64_t>;
+  static State initial() { return State(kSlots, -1); }
+  static std::pair<State, Response> apply(const State& s,
+                                          const Invocation& inv) {
+    if (inv.kind == Kind::kUpdate) {
+      State next = s;
+      next[static_cast<std::size_t>(inv.pid)] = inv.value;
+      return {std::move(next), {}};
+    }
+    return {s, s};
+  }
+  static bool commutes(const Invocation&, const Invocation&) { return false; }
+  static bool overwrites(const Invocation&, const Invocation&) {
+    return false;
+  }
+};
+
+template <class Snapshot>
+void run_snapshot_lincheck_stress(int trials) {
+  for (int trial = 0; trial < trials; ++trial) {
+    const int n = 3;
+    Snapshot snap(n);
+    RtRecorder<SnapSpec> rec;
+    parallel_run(n, [&](int pid) {
+      for (int i = 0; i < 2; ++i) {
+        {
+          const std::int64_t v = pid * 100 + i;
+          const auto tok =
+              rec.begin(pid, {SnapSpec::Kind::kUpdate, pid, v});
+          snap.update(pid, v);
+          rec.end(tok, {});
+        }
+        {
+          const auto tok = rec.begin(pid, {SnapSpec::Kind::kScan, 0, 0});
+          const auto view = snap.scan(pid);
+          std::vector<std::int64_t> flat;
+          for (const auto& s : view) flat.push_back(s.value_or(-1));
+          rec.end(tok, flat);
+        }
+      }
+    });
+    auto history = rec.take();
+    EXPECT_TRUE(is_linearizable<SnapSpec>(std::move(history)))
+        << "trial " << trial;
+  }
+}
+
+TEST(RtStress, LatticeScanSnapshotHistoriesAreLinearizable) {
+  run_snapshot_lincheck_stress<AtomicSnapshotRT<std::int64_t>>(8);
+}
+
+TEST(RtStress, AfekSnapshotHistoriesAreLinearizable) {
+  run_snapshot_lincheck_stress<AfekSnapshotRT<std::int64_t>>(8);
+}
+
+TEST(RtStress, AfekSnapshotSequentialBehaviour) {
+  AfekSnapshotRT<int> snap(3);
+  snap.update(0, 1);
+  snap.update(2, 9);
+  const auto view = snap.scan(1);
+  EXPECT_EQ(view[0], 1);
+  EXPECT_FALSE(view[1].has_value());
+  EXPECT_EQ(view[2], 9);
+}
+
+TEST(RtStress, AfekScanIsMonotoneUnderConcurrentUpdates) {
+  const int n = 3;
+  AfekSnapshotRT<std::uint64_t> snap(n);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  parallel_run(n, [&](int pid) {
+    if (pid == 0) {
+      std::vector<std::uint64_t> last(static_cast<std::size_t>(n), 0);
+      for (int k = 0; k < 200; ++k) {
+        const auto view = snap.scan(pid);
+        for (std::size_t q = 0; q < view.size(); ++q) {
+          const std::uint64_t v = view[q].value_or(0);
+          if (v < last[q]) violation.store(true);
+          last[q] = v;
+        }
+      }
+      stop.store(true);
+    } else {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) snap.update(pid, ++i);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace apram::rt
