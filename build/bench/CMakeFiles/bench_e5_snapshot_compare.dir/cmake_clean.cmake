@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_snapshot_compare.dir/bench_e5_snapshot_compare.cpp.o"
+  "CMakeFiles/bench_e5_snapshot_compare.dir/bench_e5_snapshot_compare.cpp.o.d"
+  "bench_e5_snapshot_compare"
+  "bench_e5_snapshot_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_snapshot_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_round_constants.dir/bench_e7_round_constants.cpp.o"
+  "CMakeFiles/bench_e7_round_constants.dir/bench_e7_round_constants.cpp.o.d"
+  "bench_e7_round_constants"
+  "bench_e7_round_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_round_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_rt.dir/bench_micro_rt.cpp.o"
+  "CMakeFiles/bench_micro_rt.dir/bench_micro_rt.cpp.o.d"
+  "bench_micro_rt"
+  "bench_micro_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

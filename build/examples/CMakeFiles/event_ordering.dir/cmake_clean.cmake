@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_ordering.dir/event_ordering.cpp.o"
+  "CMakeFiles/event_ordering.dir/event_ordering.cpp.o.d"
+  "event_ordering"
+  "event_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leader_election.dir/leader_election.cpp.o"
+  "CMakeFiles/leader_election.dir/leader_election.cpp.o.d"
+  "leader_election"
+  "leader_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leader_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

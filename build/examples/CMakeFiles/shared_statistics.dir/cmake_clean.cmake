@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_statistics.dir/shared_statistics.cpp.o"
+  "CMakeFiles/shared_statistics.dir/shared_statistics.cpp.o.d"
+  "shared_statistics"
+  "shared_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

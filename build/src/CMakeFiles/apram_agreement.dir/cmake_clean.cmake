@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_agreement.dir/agreement/adversary.cpp.o"
+  "CMakeFiles/apram_agreement.dir/agreement/adversary.cpp.o.d"
+  "CMakeFiles/apram_agreement.dir/agreement/approx_spec.cpp.o"
+  "CMakeFiles/apram_agreement.dir/agreement/approx_spec.cpp.o.d"
+  "libapram_agreement.a"
+  "libapram_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

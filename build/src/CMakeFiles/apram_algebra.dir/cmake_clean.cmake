@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_algebra.dir/algebra/semantics.cpp.o"
+  "CMakeFiles/apram_algebra.dir/algebra/semantics.cpp.o.d"
+  "libapram_algebra.a"
+  "libapram_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_core.dir/core/universal_stats.cpp.o"
+  "CMakeFiles/apram_core.dir/core/universal_stats.cpp.o.d"
+  "libapram_core.a"
+  "libapram_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

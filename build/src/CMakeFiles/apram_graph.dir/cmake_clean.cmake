@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_graph.dir/graph/digraph.cpp.o"
+  "CMakeFiles/apram_graph.dir/graph/digraph.cpp.o.d"
+  "CMakeFiles/apram_graph.dir/graph/lingraph.cpp.o"
+  "CMakeFiles/apram_graph.dir/graph/lingraph.cpp.o.d"
+  "libapram_graph.a"
+  "libapram_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_lattice.dir/lattice/lattice.cpp.o"
+  "CMakeFiles/apram_lattice.dir/lattice/lattice.cpp.o.d"
+  "libapram_lattice.a"
+  "libapram_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

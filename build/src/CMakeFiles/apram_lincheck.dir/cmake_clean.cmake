@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_lincheck.dir/lincheck/checker.cpp.o"
+  "CMakeFiles/apram_lincheck.dir/lincheck/checker.cpp.o.d"
+  "CMakeFiles/apram_lincheck.dir/lincheck/history.cpp.o"
+  "CMakeFiles/apram_lincheck.dir/lincheck/history.cpp.o.d"
+  "libapram_lincheck.a"
+  "libapram_lincheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_lincheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

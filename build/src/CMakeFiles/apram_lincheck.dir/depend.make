@@ -1,0 +1,2 @@
+# Empty dependencies file for apram_lincheck.
+# This may be replaced when dependencies are built.

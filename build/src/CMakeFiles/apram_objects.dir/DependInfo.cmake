@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objects/specs.cpp" "src/CMakeFiles/apram_objects.dir/objects/specs.cpp.o" "gcc" "src/CMakeFiles/apram_objects.dir/objects/specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/apram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apram_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apram_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apram_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apram_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/apram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_objects.dir/objects/specs.cpp.o"
+  "CMakeFiles/apram_objects.dir/objects/specs.cpp.o.d"
+  "libapram_objects.a"
+  "libapram_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_rt.dir/rt/arena.cpp.o"
+  "CMakeFiles/apram_rt.dir/rt/arena.cpp.o.d"
+  "CMakeFiles/apram_rt.dir/rt/thread_harness.cpp.o"
+  "CMakeFiles/apram_rt.dir/rt/thread_harness.cpp.o.d"
+  "libapram_rt.a"
+  "libapram_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

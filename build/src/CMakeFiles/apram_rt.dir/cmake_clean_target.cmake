@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapram_rt.a"
+)

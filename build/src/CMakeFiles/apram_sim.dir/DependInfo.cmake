@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/explore.cpp" "src/CMakeFiles/apram_sim.dir/sim/explore.cpp.o" "gcc" "src/CMakeFiles/apram_sim.dir/sim/explore.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/CMakeFiles/apram_sim.dir/sim/replay.cpp.o" "gcc" "src/CMakeFiles/apram_sim.dir/sim/replay.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/apram_sim.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/apram_sim.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/apram_sim.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/apram_sim.dir/sim/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/apram_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

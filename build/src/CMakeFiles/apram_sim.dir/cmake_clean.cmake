@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_sim.dir/sim/explore.cpp.o"
+  "CMakeFiles/apram_sim.dir/sim/explore.cpp.o.d"
+  "CMakeFiles/apram_sim.dir/sim/replay.cpp.o"
+  "CMakeFiles/apram_sim.dir/sim/replay.cpp.o.d"
+  "CMakeFiles/apram_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/apram_sim.dir/sim/scheduler.cpp.o.d"
+  "CMakeFiles/apram_sim.dir/sim/world.cpp.o"
+  "CMakeFiles/apram_sim.dir/sim/world.cpp.o.d"
+  "libapram_sim.a"
+  "libapram_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

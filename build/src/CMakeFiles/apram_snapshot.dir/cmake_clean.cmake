@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_snapshot.dir/snapshot/baselines/mutex_snapshot.cpp.o"
+  "CMakeFiles/apram_snapshot.dir/snapshot/baselines/mutex_snapshot.cpp.o.d"
+  "CMakeFiles/apram_snapshot.dir/snapshot/scan_stats.cpp.o"
+  "CMakeFiles/apram_snapshot.dir/snapshot/scan_stats.cpp.o.d"
+  "libapram_snapshot.a"
+  "libapram_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

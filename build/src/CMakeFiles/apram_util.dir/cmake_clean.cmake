@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apram_util.dir/util/flags.cpp.o"
+  "CMakeFiles/apram_util.dir/util/flags.cpp.o.d"
+  "CMakeFiles/apram_util.dir/util/rng.cpp.o"
+  "CMakeFiles/apram_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/apram_util.dir/util/stats.cpp.o"
+  "CMakeFiles/apram_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/apram_util.dir/util/table.cpp.o"
+  "CMakeFiles/apram_util.dir/util/table.cpp.o.d"
+  "libapram_util.a"
+  "libapram_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apram_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

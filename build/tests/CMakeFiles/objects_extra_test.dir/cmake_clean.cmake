@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objects_extra_test.dir/objects_extra_test.cpp.o"
+  "CMakeFiles/objects_extra_test.dir/objects_extra_test.cpp.o.d"
+  "objects_extra_test"
+  "objects_extra_test.pdb"
+  "objects_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objects_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/agreement_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/universal_test[1]_include.cmake")
+include("/root/repo/build/tests/lincheck_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/consensus_test[1]_include.cmake")
+include("/root/repo/build/tests/explore_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/objects_extra_test[1]_include.cmake")
