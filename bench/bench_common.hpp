@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "agreement/approx_agreement.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/world.hpp"
 #include "util/assert.hpp"
@@ -20,6 +23,31 @@
 #include "util/table.hpp"
 
 namespace apram::bench {
+
+// Per-binary observability bundle: the registry every measurement flows
+// into, and the machine-readable JSON artifact CI asserts on. Construct it
+// right after Flags (it claims --metrics_out; pass --metrics_out= to
+// disable the artifact) and call emit() once at the end of run().
+class BenchObs {
+ public:
+  BenchObs(const std::string& bench_name, Flags& flags)
+      : name_(bench_name),
+        path_(flags.get_string("metrics_out",
+                               bench_name + ".metrics.json")) {}
+
+  obs::Registry& registry() { return registry_; }
+
+  void emit(const obs::Tracer* tracer = nullptr) {
+    if (path_.empty()) return;
+    obs::write_metrics_json(path_, registry_, tracer, name_);
+    std::cout << "metrics artifact: " << path_ << "\n";
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  obs::Registry registry_;
+};
 
 // One approximate-agreement execution in the concurrent-participation
 // regime (inputs installed first; see DESIGN.md §6), with the output phase

@@ -17,6 +17,7 @@ namespace {
 
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchObs bobs("bench_e1_agreement_upper", flags);
   const auto seeds = flags.get_int("seeds", 20);
   flags.check_unused();
 
@@ -75,9 +76,14 @@ int run(int argc, char** argv) {
           .add(worst_round)
           .add(std::to_string(valid) + "/" + std::to_string(seeds))
           .end_row();
+      bobs.registry()
+          .gauge("e1.n" + std::to_string(n) + ".r" +
+                 std::to_string(std::int64_t{1} << log_ratio) + ".max_steps")
+          .set(static_cast<std::int64_t>(worst_steps));
     }
   }
   table.print(std::cout);
+  bobs.emit();
   std::cout << "\nE1 PASS: all runs valid and within the Theorem 5 bound.\n";
   return 0;
 }

@@ -18,6 +18,7 @@ namespace {
 
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchObs bobs("bench_e2_agreement_lower", flags);
   const auto max_k = static_cast<int>(flags.get_int("max_k", 8));
   flags.check_unused();
 
@@ -35,6 +36,9 @@ int run(int argc, char** argv) {
     y.extend(res.outputs[1]);
     const bool valid = in.contains(y) && y.size() < eps;
     APRAM_CHECK_MSG(res.iterations >= k, "Lemma 6 bound not exhibited");
+    bobs.registry()
+        .gauge("e2.k" + std::to_string(k) + ".iterations")
+        .set(res.iterations);
     table.add(k)
         .add(eps, 6)
         .add(k)
@@ -61,6 +65,7 @@ int run(int argc, char** argv) {
         .end_row();
   }
   fig2.print(std::cout);
+  bobs.emit();
   std::cout << "\nE2 PASS: adversary forced >= log3(delta/eps) iterations "
                "against the correct object.\n";
   return 0;

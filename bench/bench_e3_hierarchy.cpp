@@ -40,6 +40,7 @@ std::uint64_t measured_upper(double eps, int n, int seeds) {
 
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchObs bobs("bench_e3_hierarchy", flags);
   const auto seeds = static_cast<int>(flags.get_int("seeds", 10));
   flags.check_unused();
 
@@ -58,6 +59,9 @@ int run(int argc, char** argv) {
         5.0 * (std::log2(1.0 / eps) + 3.0) + 16.0;  // (2n+1)log2 + O(n), n=2
     APRAM_CHECK_MSG(forced >= prev_forced, "forced steps must be monotone");
     prev_forced = forced;
+    bobs.registry()
+        .gauge("e3a.k" + std::to_string(k) + ".forced_steps")
+        .set(static_cast<std::int64_t>(forced));
     t7.add(k)
         .add(eps, 6)
         .add(forced)
@@ -85,6 +89,7 @@ int run(int argc, char** argv) {
         .end_row();
   }
   t8.print(std::cout);
+  bobs.emit();
   std::cout << "\nE3 PASS: forced steps grow without bound; measured K stays "
                "within the Theorem 5 envelope.\n";
   return 0;

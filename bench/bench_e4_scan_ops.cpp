@@ -4,10 +4,12 @@
 // and n²−1 reads and n+1 writes after the stated optimizations (drop the
 // final write; serve self-reads from the single-writer cache).
 //
-// Reproduction: measure the simulator's per-process read/write deltas for
-// one Scan at each n and compare with the closed forms — these must match
-// *exactly*, not approximately; any mismatch aborts. A second table shows
-// the cost is schedule-independent (wait-freedom in the strongest sense).
+// Reproduction: every access is recorded through the apram::obs metrics
+// registry attached to the World (no bespoke counters); the per-process
+// read/write counters for one Scan must equal the closed forms *exactly* at
+// each n — any mismatch aborts. A second table shows the cost is
+// schedule-independent (wait-freedom in the strongest sense). The registry
+// is dumped as a JSON artifact so CI can re-assert the counts offline.
 #include "bench_common.hpp"
 #include "snapshot/lattice_scan.hpp"
 #include "snapshot/scan_stats.hpp"
@@ -22,20 +24,25 @@ struct Measured {
   std::uint64_t writes = 0;
 };
 
-Measured measure_solo_scan(int n, ScanMode mode) {
+Measured measure_solo_scan(obs::Registry& registry, int n, ScanMode mode) {
   sim::World w(n);
+  const std::string prefix =
+      "e4.n" + std::to_string(n) +
+      (mode == ScanMode::kPlain ? ".plain" : ".optimized");
+  w.attach_metrics(registry, prefix);
   LatticeScanSim<MaxL> ls(w, n, "ls", mode);
   w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
     co_await ls.scan(ctx, 1);
   });
-  StepDelta probe(w, 0);
+  obs::CounterDelta reads(w.metrics_reads(0));
+  obs::CounterDelta writes(w.metrics_writes(0));
   w.run_solo(0);
-  const auto d = probe.delta();
-  return {d.reads, d.writes};
+  return {reads.delta(), writes.delta()};
 }
 
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchObs bobs("bench_e4_scan_ops", flags);
   flags.check_unused();
 
   Table table("E4: Scan operation counts (must match §6.2 exactly)",
@@ -43,7 +50,7 @@ int run(int argc, char** argv) {
                "writes_expected"});
   for (int n : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
     for (ScanMode mode : {ScanMode::kPlain, ScanMode::kOptimized}) {
-      const auto m = measure_solo_scan(n, mode);
+      const auto m = measure_solo_scan(bobs.registry(), n, mode);
       const auto er = expected_scan_reads(n, mode);
       const auto ew = expected_scan_writes(n, mode);
       APRAM_CHECK_MSG(m.reads == er && m.writes == ew,
@@ -60,13 +67,15 @@ int run(int argc, char** argv) {
   table.print(std::cout);
 
   // Schedule independence: under heavy contention the per-scan cost is
-  // byte-identical (straight-line algorithm, no retries).
+  // byte-identical (straight-line algorithm, no retries). Counts come from
+  // the same registry, via the per-pid counters of each contended world.
   Table contention(
       "E4b: per-scan cost under contention (n=6, every process scanning)",
       {"schedule", "pid", "reads", "writes"});
   for (std::uint64_t seed : {0ULL, 7ULL, 99ULL}) {
     const int n = 6;
     sim::World w(n);
+    w.attach_metrics(bobs.registry(), "e4b.seed" + std::to_string(seed));
     LatticeScanSim<MaxL> ls(w, n, "ls");
     for (int pid = 0; pid < n; ++pid) {
       w.spawn(pid, [&ls, pid](sim::Context ctx) -> sim::ProcessTask {
@@ -76,22 +85,23 @@ int run(int argc, char** argv) {
     sim::RandomScheduler rs(seed);
     APRAM_CHECK(w.run(rs).all_done);
     for (int pid = 0; pid < n; ++pid) {
-      APRAM_CHECK(w.counts(pid).reads ==
+      APRAM_CHECK(w.metrics_reads(pid).value() ==
                   expected_scan_reads(n, ScanMode::kOptimized));
-      APRAM_CHECK(w.counts(pid).writes ==
+      APRAM_CHECK(w.metrics_writes(pid).value() ==
                   expected_scan_writes(n, ScanMode::kOptimized));
       if (pid == 0) {
         contention.add("rnd seed " + std::to_string(seed))
             .add(pid)
-            .add(w.counts(pid).reads)
-            .add(w.counts(pid).writes)
+            .add(w.metrics_reads(pid).value())
+            .add(w.metrics_writes(pid).value())
             .end_row();
       }
     }
   }
   contention.print(std::cout);
-  std::cout << "\nE4 PASS: measured counts equal the closed forms at every "
-               "n, in both modes, under every schedule.\n";
+  bobs.emit();
+  std::cout << "\nE4 PASS: registry-recorded counts equal the closed forms "
+               "at every n, in both modes, under every schedule.\n";
   return 0;
 }
 

@@ -31,6 +31,7 @@ namespace {
 
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchObs bobs("bench_e5_snapshot_compare", flags);
   const auto window_ms = flags.get_int("window_ms", 80);
   flags.check_unused();
 
@@ -144,6 +145,8 @@ int run(int argc, char** argv) {
   for (int threads : {2, 4}) {
     {
       rt::AtomicSnapshotRT<std::int64_t> snap(threads);
+      snap.attach_obs(bobs.registry(),
+                      "e5c.ours.t" + std::to_string(threads));
       rt::ThroughputRun tr(threads);
       const double rate =
           tr.run(std::chrono::milliseconds(window_ms), [&](int pid) {
@@ -153,6 +156,8 @@ int run(int argc, char** argv) {
               snap.update(pid, pid);
             }
           });
+      tr.export_metrics(bobs.registry(),
+                        "e5c.ours.t" + std::to_string(threads));
       rt_table.add(threads).add("ours").add(rate, 0).end_row();
     }
     {
@@ -183,6 +188,7 @@ int run(int argc, char** argv) {
     }
   }
   rt_table.print(std::cout);
+  bobs.emit();
   std::cout << "\nE5 done. shape: wait-free scan cost flat under adversarial "
                "pressure; double-collect starves; blocking baseline fastest "
                "only because nothing fails here.\n";

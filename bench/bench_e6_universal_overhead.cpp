@@ -19,6 +19,7 @@ namespace {
 
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchObs bobs("bench_e6_universal_overhead", flags);
   flags.check_unused();
 
   Table table("E6: universal-construction cost per operation (solo)",
@@ -29,6 +30,8 @@ int run(int argc, char** argv) {
     const char* names[] = {"inc", "dec", "reset", "read"};
     for (int which = 0; which < 4; ++which) {
       sim::World w(n);
+      w.attach_metrics(bobs.registry(), "e6.n" + std::to_string(n) + "." +
+                                            names[which]);
       CounterSim c(w, n);
       w.spawn(0, [&, which](sim::Context ctx) -> sim::ProcessTask {
         switch (which) {
@@ -38,23 +41,25 @@ int run(int argc, char** argv) {
           default: (void)co_await c.read(ctx); break;
         }
       });
-      StepDelta probe(w, 0);
+      obs::CounterDelta dreads(w.metrics_reads(0));
+      obs::CounterDelta dwrites(w.metrics_writes(0));
       w.run_solo(0);
-      const auto d = probe.delta();
+      const std::uint64_t reads = dreads.delta();
+      const std::uint64_t writes = dwrites.delta();
       const auto expected_reads = expected_scan_reads(n, ScanMode::kOptimized);
       const auto expected_writes =
           expected_scan_writes(n, ScanMode::kOptimized) + 1;
-      APRAM_CHECK_MSG(d.reads == expected_reads && d.writes == expected_writes,
+      APRAM_CHECK_MSG(reads == expected_reads && writes == expected_writes,
                       "universal op cost differs from scan+1 write");
       if (which == 0 && n >= 2) {
         log_n.push_back(std::log2(static_cast<double>(n)));
-        log_total.push_back(std::log2(static_cast<double>(d.reads + d.writes)));
+        log_total.push_back(std::log2(static_cast<double>(reads + writes)));
       }
       table.add(n)
           .add(names[which])
-          .add(d.reads)
-          .add(d.writes)
-          .add(d.reads + d.writes)
+          .add(reads)
+          .add(writes)
+          .add(reads + writes)
           .add(std::to_string(expected_reads) + "r+" +
                std::to_string(expected_writes) + "w")
           .end_row();
@@ -67,6 +72,9 @@ int run(int argc, char** argv) {
             << exponent << " (theory: -> 2.0 for large n)\n";
   APRAM_CHECK_MSG(exponent > 1.6 && exponent < 2.3,
                   "universal overhead is not quadratic");
+  bobs.registry()
+      .gauge("e6.exponent_milli")
+      .set(static_cast<std::int64_t>(exponent * 1000.0));
 
   // Contention does not change the per-op cost (wait-free, no retries).
   Table contention("E6b: per-op cost with all n processes operating (n=6)",
@@ -93,6 +101,7 @@ int run(int argc, char** argv) {
     }
   }
   contention.print(std::cout);
+  bobs.emit();
   std::cout << "\nE6 PASS: every operation costs exactly one scan + one "
                "anchor write; growth is quadratic in n.\n";
   return 0;

@@ -22,6 +22,7 @@ namespace {
 
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchObs bobs("bench_e7_round_constants", flags);
   flags.check_unused();
 
   Table ratio("E7a: adversary iterations vs log3(delta/eps), 2 processes",
@@ -30,6 +31,9 @@ int run(int argc, char** argv) {
     const double eps = std::pow(3.0, -k);
     const auto res = run_lower_bound_adversary(
         midpoint_agreement_factory(eps, 0.0, 1.0), eps);
+    bobs.registry()
+        .gauge("e7a.k" + std::to_string(k) + ".iterations")
+        .set(res.iterations);
     ratio.add(k)
         .add(eps, 6)
         .add(res.iterations)
@@ -81,6 +85,7 @@ int run(int argc, char** argv) {
     }
   }
   rounds.print(std::cout);
+  bobs.emit();
   std::cout << "\nE7 done. shape: two-process adversary sustains the base-3 "
                "shrink (constant ~1x log3); installed-input Figure 2 "
                "converges in O(1) rounds for every n.\n";

@@ -20,6 +20,7 @@ namespace {
 
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchObs bobs("bench_e8_ablation", flags);
   flags.check_unused();
 
   // ---- (a) universal vs fast counter ------------------------------------
@@ -30,41 +31,45 @@ int run(int argc, char** argv) {
   for (int n : {2, 4, 8, 16}) {
     {
       sim::World w(n);
+      w.attach_metrics(bobs.registry(), "e8a.n" + std::to_string(n) + ".uni");
       CounterSim c(w, n);
       w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
         co_await c.inc(ctx, 1);
       });
-      StepDelta probe(w, 0);
+      obs::CounterDelta ir(w.metrics_reads(0));
+      obs::CounterDelta iw(w.metrics_writes(0));
       w.run_solo(0);
-      const auto inc = probe.delta();
+      const std::uint64_t inc_reads = ir.delta(), inc_writes = iw.delta();
       w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
         (void)co_await c.read(ctx);
       });
-      StepDelta probe2(w, 0);
+      obs::CounterDelta rr(w.metrics_reads(0));
+      obs::CounterDelta rw(w.metrics_writes(0));
       w.run_solo(0);
-      const auto rd = probe2.delta();
-      a.add(n).add("universal").add(inc.reads).add(inc.writes).add(rd.reads)
-          .add(rd.writes).end_row();
+      a.add(n).add("universal").add(inc_reads).add(inc_writes).add(rr.delta())
+          .add(rw.delta()).end_row();
     }
     {
       sim::World w(n);
+      w.attach_metrics(bobs.registry(), "e8a.n" + std::to_string(n) + ".fast");
       FastCounterSim c(w, n);
       w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
         co_await c.inc(ctx, 1);
       });
-      StepDelta probe(w, 0);
+      obs::CounterDelta ir(w.metrics_reads(0));
+      obs::CounterDelta iw(w.metrics_writes(0));
       w.run_solo(0);
-      const auto inc = probe.delta();
+      const std::uint64_t inc_reads = ir.delta(), inc_writes = iw.delta();
       w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
         (void)co_await c.read(ctx);
       });
-      StepDelta probe2(w, 0);
+      obs::CounterDelta rr(w.metrics_reads(0));
+      obs::CounterDelta rw(w.metrics_writes(0));
       w.run_solo(0);
-      const auto rd = probe2.delta();
-      APRAM_CHECK_MSG(inc.reads == 0 && inc.writes == 1,
+      APRAM_CHECK_MSG(inc_reads == 0 && inc_writes == 1,
                       "fast counter update must be one write");
-      a.add(n).add("fast").add(inc.reads).add(inc.writes).add(rd.reads)
-          .add(rd.writes).end_row();
+      a.add(n).add("fast").add(inc_reads).add(inc_writes).add(rr.delta())
+          .add(rw.delta()).end_row();
     }
   }
   a.print(std::cout);
@@ -94,14 +99,16 @@ int run(int argc, char** argv) {
     for (std::uint64_t seed = 0; seed < 10; ++seed) {
       const int n = 4;
       sim::World w(n);
+      w.attach_metrics(bobs.registry(),
+                       "e8c.s" + std::to_string(static_cast<int>(sticky * 10)) +
+                           ".seed" + std::to_string(seed));
       DoubleCollectSnapshotSim<int> snap(w, n);
       w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
         for (int k = 0; k < 20; ++k) {
-          StepDelta probe(ctx.world(), 0);
+          obs::CounterDelta reads(ctx.world().metrics_reads(0));
           const auto view = co_await snap.scan(ctx, /*max_attempts=*/10'000);
           APRAM_CHECK(view.has_value());
-          attempts.push_back(
-              static_cast<double>(probe.delta().reads) / (2.0 * n));
+          attempts.push_back(static_cast<double>(reads.delta()) / (2.0 * n));
         }
       });
       for (int pid = 1; pid < n; ++pid) {
@@ -124,6 +131,7 @@ int run(int argc, char** argv) {
         .end_row();
   }
   c.print(std::cout);
+  bobs.emit();
   std::cout << "shape: without helping, retries explode under fine-grained "
                "interleaving (stickiness 0) and relax only when updates come "
                "in bursts; the wait-free scan costs exactly 1.0 'attempt' "

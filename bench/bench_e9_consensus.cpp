@@ -66,6 +66,7 @@ ConsensusStats measure(int n, bool split_inputs, double stickiness,
 
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchObs bobs("bench_e9_consensus", flags);
   const auto trials = static_cast<int>(flags.get_int("trials", 30));
   flags.check_unused();
 
@@ -77,6 +78,10 @@ int run(int argc, char** argv) {
     for (bool split : {false, true}) {
       for (double sticky : {0.0, 0.8}) {
         const auto st = measure(n, split, sticky, trials);
+        bobs.registry()
+            .gauge("e9.n" + std::to_string(n) + (split ? ".split" : ".same") +
+                   (sticky > 0 ? ".bursty" : ".uniform") + ".steps_per_proc")
+            .set(static_cast<std::int64_t>(st.steps_per_proc.mean()));
         table.add(n)
             .add(split ? "split 0/1" : "identical")
             .add(sticky > 0 ? "bursty" : "uniform")
@@ -88,6 +93,7 @@ int run(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  bobs.emit();
   std::cout << "\nE9 done. shape: identical inputs commit in the first round "
                "(pure commit-adopt cost, Theta(n) steps/proc); split inputs "
                "add a geometrically-distributed number of coin rounds. "

@@ -4,12 +4,25 @@
 // in bench_e5_snapshot_compare.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/rt_probe.hpp"
 #include "rt/fast_counter_rt.hpp"
 #include "rt/lattice_scan_rt.hpp"
 #include "rt/register.hpp"
 
 namespace apram::rt {
 namespace {
+
+// Shared registry so the probed benchmarks below feed the metrics artifact
+// written by main(). Event counts depend on benchmark iteration counts and
+// are interesting only as magnitudes, not exact values.
+obs::Registry& bench_registry() {
+  static obs::Registry reg;
+  return reg;
+}
 
 void BM_RegisterRead(benchmark::State& state) {
   SWMRRegister<std::int64_t> reg(42);
@@ -27,6 +40,36 @@ void BM_RegisterWrite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RegisterWrite);
+
+// Same register paths with an obs::RtProbe attached: the delta against
+// BM_RegisterRead/Write is the cost of the one-relaxed-fetch_add hot path
+// (the budget documented in DESIGN.md).
+void BM_RegisterReadProbed(benchmark::State& state) {
+  auto& reg = bench_registry();
+  obs::RtProbe probe{&reg.counter("micro.probed.reads"),
+                     &reg.counter("micro.probed.writes"),
+                     &reg.counter("micro.probed.cas"), nullptr, 0};
+  SWMRRegister<std::int64_t> r(42);
+  r.attach_probe(&probe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.read());
+  }
+}
+BENCHMARK(BM_RegisterReadProbed);
+
+void BM_RegisterWriteProbed(benchmark::State& state) {
+  auto& reg = bench_registry();
+  obs::RtProbe probe{&reg.counter("micro.probed.reads"),
+                     &reg.counter("micro.probed.writes"),
+                     &reg.counter("micro.probed.cas"), nullptr, 0};
+  SWMRRegister<std::int64_t> r(0);
+  r.attach_probe(&probe);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    r.write(++i);
+  }
+}
+BENCHMARK(BM_RegisterWriteProbed);
 
 void BM_SnapshotUpdate(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -72,4 +115,14 @@ BENCHMARK(BM_FastCounterRead)->Arg(4)->Arg(16);
 }  // namespace
 }  // namespace apram::rt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  apram::obs::write_metrics_json("bench_micro_rt.metrics.json",
+                                 apram::rt::bench_registry(), nullptr,
+                                 "bench_micro_rt");
+  std::cout << "metrics artifact: bench_micro_rt.metrics.json\n";
+  return 0;
+}

@@ -7,6 +7,8 @@
 // Layering (bottom to top):
 //
 //   util/       — rng, stats, tables, flags               (no dependencies)
+//   obs/        — observability: sharded metrics registry, ring-buffer
+//                 event tracer, JSON/table exporters, replay artifacts
 //   sim/        — the asynchronous PRAM simulator: coroutine processes,
 //                 atomic registers, schedulers, deterministic replay
 //   lattice/    — ∨-semilattices (max, set-union, tagged-vector, product)
@@ -45,6 +47,11 @@
 #include "objects/pseudo_rmw.hpp"
 #include "objects/randomized_consensus.hpp"
 #include "objects/specs.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/replay_artifact.hpp"
+#include "obs/rt_probe.hpp"
+#include "obs/trace.hpp"
 #include "rt/afek_snapshot_rt.hpp"
 #include "rt/approx_agreement_rt.hpp"
 #include "rt/double_collect_rt.hpp"

@@ -1,0 +1,63 @@
+#include "obs/replay_artifact.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace apram::obs {
+
+std::vector<int> schedule_from_trace(const std::vector<TraceEvent>& events) {
+  std::vector<int> schedule;
+  schedule.reserve(events.size());
+  for (const TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case EventKind::kRead:
+      case EventKind::kWrite:
+      case EventKind::kCas:
+        schedule.push_back(ev.pid);
+        break;
+      default:
+        break;
+    }
+  }
+  return schedule;
+}
+
+void save_schedule(std::ostream& os, const std::vector<int>& schedule) {
+  os << "# apram-schedule v1\n";
+  for (int pid : schedule) os << pid << '\n';
+}
+
+std::vector<int> load_schedule(std::istream& is) {
+  std::vector<int> schedule;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    int pid = -1;
+    ls >> pid;
+    APRAM_CHECK_MSG(!ls.fail() && pid >= 0, "malformed schedule line");
+    schedule.push_back(pid);
+  }
+  return schedule;
+}
+
+void write_schedule_file(const std::string& path,
+                         const std::vector<int>& schedule) {
+  std::ofstream out(path);
+  APRAM_CHECK_MSG(out.good(), "cannot open schedule output file");
+  save_schedule(out, schedule);
+  out.flush();
+  APRAM_CHECK_MSG(out.good(), "schedule artifact write failed");
+}
+
+std::vector<int> read_schedule_file(const std::string& path) {
+  std::ifstream in(path);
+  APRAM_CHECK_MSG(in.good(), "cannot open schedule input file");
+  return load_schedule(in);
+}
+
+}  // namespace apram::obs

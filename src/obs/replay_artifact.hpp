@@ -1,0 +1,42 @@
+// apram::obs — replay artifacts.
+//
+// Simulator executions are pure functions of (program, schedule), and every
+// scheduler grant performs exactly one shared-memory access. A recorded sim
+// trace therefore IS the schedule: projecting the access events onto their
+// pids, in step order, reproduces the exact grant sequence, and feeding that
+// sequence to sim::FixedScheduler (via sim::replay) re-executes the run
+// byte-for-byte.
+//
+// The artifact format is a trivially diffable text file:
+//
+//   # apram-schedule v1
+//   2
+//   0
+//   1
+//   ...
+//
+// one pid per line, in grant order. Lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace apram::obs {
+
+// Projects a sim trace onto its scheduler grant sequence: one entry per
+// shared-memory access event (kRead/kWrite/kCas), ordered by step. Non-access
+// events (spawn/done/crash/user) are skipped — they consume no grants.
+std::vector<int> schedule_from_trace(const std::vector<TraceEvent>& events);
+
+void save_schedule(std::ostream& os, const std::vector<int>& schedule);
+std::vector<int> load_schedule(std::istream& is);
+
+// File convenience wrappers; abort on I/O failure.
+void write_schedule_file(const std::string& path,
+                         const std::vector<int>& schedule);
+std::vector<int> read_schedule_file(const std::string& path);
+
+}  // namespace apram::obs

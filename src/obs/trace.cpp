@@ -1,0 +1,105 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace apram::obs {
+
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kRead:
+      return "read";
+    case EventKind::kWrite:
+      return "write";
+    case EventKind::kCas:
+      return "cas";
+    case EventKind::kSpawn:
+      return "spawn";
+    case EventKind::kDone:
+      return "done";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kUser:
+      return "user";
+  }
+  return "?";
+}
+
+Tracer::Tracer(int num_rings, std::size_t capacity_per_ring)
+    : cap_(capacity_per_ring), epoch_(std::chrono::steady_clock::now()) {
+  APRAM_CHECK(num_rings >= 1);
+  APRAM_CHECK(capacity_per_ring >= 1);
+  rings_.reserve(static_cast<std::size_t>(num_rings));
+  for (int i = 0; i < num_rings; ++i) {
+    auto ring = std::make_unique<Ring>();
+    ring->slots.resize(cap_);
+    rings_.push_back(std::move(ring));
+  }
+}
+
+void Tracer::emit(const TraceEvent& ev) {
+  const int r = ev.pid >= 0 ? ev.pid : 0;
+  APRAM_CHECK_MSG(r < num_rings(), "trace event pid outside tracer rings");
+  Ring& ring = *rings_[static_cast<std::size_t>(r)];
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  ring.slots[static_cast<std::size_t>(h % cap_)] = ev;
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::collect(std::vector<TraceEvent>& out) const {
+  for (const auto& ring : rings_) {
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t start = h > cap_ ? h - cap_ : 0;
+    for (std::uint64_t i = start; i < h; ++i) {
+      out.push_back(ring->slots[static_cast<std::size_t>(i % cap_)]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.when != b.when) return a.when < b.when;
+                     return a.pid < b.pid;
+                   });
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  collect(out);
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::vector<TraceEvent> out;
+  collect(out);
+  for (auto& ring : rings_) {
+    const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+    retired_recorded_ += h;
+    retired_dropped_ += h > cap_ ? h - cap_ : 0;
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::uint64_t total = retired_recorded_;
+  for (const auto& ring : rings_) {
+    total += ring->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = retired_dropped_;
+  for (const auto& ring : rings_) {
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    total += h > cap_ ? h - cap_ : 0;
+  }
+  return total;
+}
+
+}  // namespace apram::obs

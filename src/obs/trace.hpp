@@ -1,0 +1,90 @@
+// apram::obs — bounded event tracer.
+//
+// One Tracer holds `num_rings` single-producer ring buffers of fixed
+// capacity; ring i is written only by the thread acting as process i (the
+// simulator's driver thread for every pid; in rt, the thread the harness
+// pinned to pid i). Emitting overwrites the oldest slot when full — the
+// newest events always survive, which is what post-mortem debugging wants.
+//
+// Hot-path budget: one slot copy plus one release store of the ring head.
+// No allocation, no locking, no cross-thread stores.
+//
+// Reading (events()/drain()) is defined at quiescence only: after the sim
+// run returns, or after the rt harness has joined its threads (the join
+// provides the happens-before edge that makes every slot visible). Reading
+// while producers are live is a contract violation, not a data race the
+// tracer defends against.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace apram::obs {
+
+enum class EventKind : std::uint8_t {
+  kRead,   // shared-register read (object = register id)
+  kWrite,  // shared-register write
+  kCas,    // compare-and-swap (arg = 1 on success, 0 on failure)
+  kSpawn,  // process/thread started
+  kDone,   // process/thread finished
+  kCrash,  // process crashed (failure injection)
+  kUser,   // free-form, producer-defined
+};
+
+const char* kind_name(EventKind k);
+
+struct TraceEvent {
+  std::uint64_t when = 0;   // sim: global step index; rt: ns since epoch
+  std::int32_t pid = 0;     // producing process/thread
+  EventKind kind = EventKind::kUser;
+  std::int32_t object = -1;  // register/object id, -1 when not applicable
+  std::uint64_t arg = 0;     // event-specific payload
+};
+
+class Tracer {
+ public:
+  // `num_rings` must cover every pid that will emit (ring = event pid).
+  Tracer(int num_rings, std::size_t capacity_per_ring);
+
+  int num_rings() const { return static_cast<int>(rings_.size()); }
+  std::size_t ring_capacity() const { return cap_; }
+
+  // Producer side — callable only by the thread owning ring ev.pid.
+  void emit(const TraceEvent& ev);
+
+  // Nanoseconds since this tracer's construction (rt timestamp source).
+  std::uint64_t now_ns() const;
+
+  // --- Quiescent readers -------------------------------------------------
+
+  // All surviving events, merged across rings, ordered by (when, pid). In
+  // the simulator `when` is the unique global step, so the order is exact.
+  std::vector<TraceEvent> events() const;
+
+  // events(), then resets every ring.
+  std::vector<TraceEvent> drain();
+
+  std::uint64_t recorded() const;  // total events ever emitted
+  std::uint64_t dropped() const;   // overwritten by ring overflow
+
+ private:
+  struct Ring {
+    alignas(64) std::atomic<std::uint64_t> head{0};
+    std::vector<TraceEvent> slots;
+  };
+
+  void collect(std::vector<TraceEvent>& out) const;
+
+  std::size_t cap_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::uint64_t retired_recorded_ = 0;  // carried across drain() resets
+  std::uint64_t retired_dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace apram::obs

@@ -23,6 +23,12 @@ class FastCounterRT {
 
   int num_procs() const { return snap_.num_procs(); }
 
+  // Forwards to the underlying snapshot (see LatticeScanRT::attach_obs).
+  void attach_obs(obs::Registry& registry, const std::string& name,
+                  obs::Tracer* tracer = nullptr) {
+    snap_.attach_obs(registry, name, tracer);
+  }
+
   void inc(int p, std::int64_t by = 1) { add(p, by); }
   void dec(int p, std::int64_t by = 1) { add(p, -by); }
 

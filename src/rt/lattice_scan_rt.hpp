@@ -74,6 +74,30 @@ class LatticeScanRT {
 
   Value read_max(int p) { return scan(p, L::bottom()); }
 
+  // Instruments every register of the scan matrix: aggregate counters
+  // `rt.<name>.reads` / `rt.<name>.writes` in `registry`, plus per-access
+  // trace events (object id = p*(n+2)+i) when `tracer` is non-null. Attach
+  // before concurrent use; registry/tracer must outlive this object.
+  void attach_obs(obs::Registry& registry, const std::string& name,
+                  obs::Tracer* tracer = nullptr) {
+    obs::Counter* reads = &registry.counter("rt." + name + ".reads");
+    obs::Counter* writes = &registry.counter("rt." + name + ".writes");
+    probes_.clear();
+    probes_.reserve(static_cast<std::size_t>(n_) *
+                    (static_cast<std::size_t>(n_) + 2));
+    for (int p = 0; p < n_; ++p) {
+      for (int i = 0; i <= n_ + 1; ++i) {
+        auto probe = std::make_unique<obs::RtProbe>();
+        probe->reads = reads;
+        probe->writes = writes;
+        probe->tracer = tracer;
+        probe->object = p * (n_ + 2) + i;
+        reg(p, i).attach_probe(probe.get());
+        probes_.push_back(std::move(probe));
+      }
+    }
+  }
+
   // One-write contribution (snapshot update path).
   void post(int p, Value v) {
     auto& cache = caches_[static_cast<std::size_t>(p)]->row;
@@ -101,6 +125,7 @@ class LatticeScanRT {
   ScanMode mode_;
   std::vector<std::vector<std::unique_ptr<SWMRRegister<Value>>>> regs_;
   std::vector<std::unique_ptr<Cache>> caches_;
+  std::vector<std::unique_ptr<obs::RtProbe>> probes_;
 };
 
 // Snapshot object on the tagged-vector lattice (end of §6), rt flavour.
@@ -129,6 +154,12 @@ class AtomicSnapshotRT {
 
   std::vector<std::optional<T>> scan(int p) {
     return unpack(scan_.read_max(p));
+  }
+
+  // Forwards to the underlying scan matrix (see LatticeScanRT::attach_obs).
+  void attach_obs(obs::Registry& registry, const std::string& name,
+                  obs::Tracer* tracer = nullptr) {
+    scan_.attach_obs(registry, name, tracer);
   }
 
   std::vector<std::optional<T>> update_and_scan(int p, T v) {

@@ -15,12 +15,17 @@
 // assumption (see DESIGN.md substitution table). std::deque guarantees
 // reference stability under push_back, and only the single writer touches
 // the deque structure, so reads race with nothing.
+// Both register flavours carry an optional apram::obs probe (attach_probe):
+// unattached, an access pays one relaxed pointer load and a predictable
+// branch; attached, each access is counted (relaxed fetch_add) and — when
+// the calling thread has a model pid — traced with an rt timestamp.
 #pragma once
 
 #include <atomic>
 #include <deque>
 #include <utility>
 
+#include "obs/rt_probe.hpp"
 #include "util/assert.hpp"
 
 namespace apram::rt {
@@ -39,21 +44,87 @@ class SWMRRegister {
   // Any thread. Wait-free: one acquire load. The reference stays valid for
   // the register's lifetime (nodes are immutable and never reclaimed).
   const T& read() const {
-    return *current_.load(std::memory_order_acquire);
+    const T& v = *current_.load(std::memory_order_acquire);
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_read();
+    }
+    return v;
   }
 
   // Owner thread only (single writer). Wait-free: one release store.
   void write(T v) {
     nodes_.push_back(std::move(v));
     current_.store(&nodes_.back(), std::memory_order_release);
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_write();
+    }
   }
 
   // Space diagnostics: number of values ever written (incl. the initial).
   std::size_t versions() const { return nodes_.size(); }
 
+  // The probe must outlive the register (or a detaching attach_probe(nullptr)
+  // call). Attach before concurrent use begins; the pointer itself is atomic,
+  // but the probe's metric handles are read without further synchronization.
+  void attach_probe(const obs::RtProbe* probe) {
+    probe_.store(probe, std::memory_order_release);
+  }
+
  private:
   std::deque<T> nodes_;
   std::atomic<const T*> current_;
+  std::atomic<const obs::RtProbe*> probe_{nullptr};
+};
+
+// Multi-writer register with compare-and-swap — the building block for rt
+// structures that go beyond the paper's read/write base model (and the
+// source of kCas trace events). T must be trivially copyable and small
+// enough for the platform's lock-free std::atomic<T>.
+template <class T>
+class CASRegister {
+ public:
+  explicit CASRegister(T initial) : v_(initial) {
+    static_assert(std::atomic<T>::is_always_lock_free,
+                  "CASRegister requires a lock-free std::atomic<T>");
+  }
+
+  CASRegister(const CASRegister&) = delete;
+  CASRegister& operator=(const CASRegister&) = delete;
+
+  T read() const {
+    const T v = v_.load(std::memory_order_acquire);
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_read();
+    }
+    return v;
+  }
+
+  void write(T v) {
+    v_.store(v, std::memory_order_release);
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_write();
+    }
+  }
+
+  // On failure `expected` is updated to the observed value, as with
+  // std::atomic::compare_exchange_strong.
+  bool compare_exchange(T& expected, T desired) {
+    const bool ok = v_.compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_cas(ok);
+    }
+    return ok;
+  }
+
+  void attach_probe(const obs::RtProbe* probe) {
+    probe_.store(probe, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<T> v_;
+  std::atomic<const obs::RtProbe*> probe_{nullptr};
 };
 
 }  // namespace apram::rt

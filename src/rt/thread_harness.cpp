@@ -2,23 +2,38 @@
 
 #include <thread>
 
+#include "obs/rt_probe.hpp"
 #include "util/assert.hpp"
 
 namespace apram::rt {
 
-void parallel_run(int num_threads, const std::function<void(int)>& body) {
+void parallel_run(int num_threads, const std::function<void(int)>& body,
+                  obs::Tracer* tracer) {
   APRAM_CHECK(num_threads >= 1);
+  APRAM_CHECK_MSG(tracer == nullptr || tracer->num_rings() >= num_threads,
+                  "tracer needs one ring per harness thread");
   std::atomic<int> ready{0};
   std::atomic<bool> go{false};
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_threads));
   for (int pid = 0; pid < num_threads; ++pid) {
     threads.emplace_back([&, pid] {
+      obs::set_thread_pid(pid);
+      obs::pin_this_shard(pid);
       ready.fetch_add(1, std::memory_order_relaxed);
       while (!go.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
+      if (tracer != nullptr) {
+        tracer->emit(obs::TraceEvent{tracer->now_ns(), pid,
+                                     obs::EventKind::kSpawn, -1, 0});
+      }
       body(pid);
+      if (tracer != nullptr) {
+        tracer->emit(obs::TraceEvent{tracer->now_ns(), pid,
+                                     obs::EventKind::kDone, -1, 0});
+      }
+      obs::set_thread_pid(-1);
     });
   }
   while (ready.load(std::memory_order_relaxed) < num_threads) {
@@ -56,6 +71,18 @@ double ThroughputRun::run(std::chrono::milliseconds window,
   std::uint64_t total = 0;
   for (auto c : ops_) total += c;
   return static_cast<double>(total) / elapsed;
+}
+
+void ThroughputRun::export_metrics(obs::Registry& registry,
+                                   const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (int pid = 0; pid < n_; ++pid) {
+    const std::uint64_t ops = ops_[static_cast<std::size_t>(pid)];
+    registry.gauge(prefix + ".ops.p" + std::to_string(pid))
+        .set(static_cast<std::int64_t>(ops));
+    total += ops;
+  }
+  registry.gauge(prefix + ".ops_total").set(static_cast<std::int64_t>(total));
 }
 
 }  // namespace apram::rt

@@ -7,12 +7,22 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace apram::rt {
 
 // Runs body(pid) on `num_threads` threads, released simultaneously by a
 // start barrier, and joins them all. Exceptions escaping a body terminate
 // (concurrent test bodies must not throw).
-void parallel_run(int num_threads, const std::function<void(int)>& body);
+//
+// Each worker declares its obs identity before the body runs: metrics shard
+// and trace ring == pid, so instrumented registers attribute work to the
+// right model process. With a tracer (one ring per thread required), every
+// thread additionally emits kSpawn/kDone events; the join in parallel_run is
+// the quiescence point after which tracer reads are exact.
+void parallel_run(int num_threads, const std::function<void(int)>& body,
+                  obs::Tracer* tracer = nullptr);
 
 // Cooperative stop flag + per-thread op counters for throughput runs:
 // threads loop `while (!stop)` calling the operation under test; the main
@@ -27,6 +37,11 @@ class ThroughputRun {
              const std::function<void(int)>& body);
 
   const std::vector<std::uint64_t>& ops_per_thread() const { return ops_; }
+
+  // Publishes the last run's per-thread op counts as gauges
+  // `<prefix>.ops.p<pid>` plus `<prefix>.ops_total` into `registry`.
+  void export_metrics(obs::Registry& registry,
+                      const std::string& prefix) const;
 
  private:
   int n_;

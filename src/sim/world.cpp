@@ -27,10 +27,12 @@ void World::spawn(int pid, ProcessFn fn) {
   // Prime the coroutine: run the local (free) prefix of the body up to its
   // first shared-memory access. Afterwards every scheduler grant performs
   // exactly one atomic access, so steps == reads + writes.
+  emit_lifecycle(pid, obs::EventKind::kSpawn);
   p.resume_point.resume();
   if (p.task.handle().done()) {
     p.done = true;
     p.task.check();
+    emit_lifecycle(pid, obs::EventKind::kDone);
   }
 }
 
@@ -47,17 +49,68 @@ int World::num_runnable() const {
   return n;
 }
 
-void World::crash(int pid) { proc(pid).crashed = true; }
+void World::crash(int pid) {
+  proc(pid).crashed = true;
+  emit_lifecycle(pid, obs::EventKind::kCrash);
+}
+
+void World::attach_metrics(obs::Registry& registry,
+                           const std::string& prefix) {
+  obs_reads_total_ = &registry.counter(prefix + ".reads");
+  obs_writes_total_ = &registry.counter(prefix + ".writes");
+  obs_reads_.assign(procs_.size(), nullptr);
+  obs_writes_.assign(procs_.size(), nullptr);
+  for (int pid = 0; pid < num_procs(); ++pid) {
+    const std::string suffix = ".p" + std::to_string(pid);
+    obs_reads_[static_cast<std::size_t>(pid)] =
+        &registry.counter(prefix + ".reads" + suffix);
+    obs_writes_[static_cast<std::size_t>(pid)] =
+        &registry.counter(prefix + ".writes" + suffix);
+  }
+}
+
+void World::detach_metrics() {
+  obs_reads_total_ = nullptr;
+  obs_writes_total_ = nullptr;
+  obs_reads_.clear();
+  obs_writes_.clear();
+}
+
+void World::set_tracer(obs::Tracer* tracer) {
+  APRAM_CHECK_MSG(tracer == nullptr || tracer->num_rings() >= num_procs(),
+                  "tracer needs one ring per process");
+  tracer_ = tracer;
+}
+
+void World::emit_lifecycle(int pid, obs::EventKind kind) {
+  if (tracer_ == nullptr) return;
+  tracer_->emit(obs::TraceEvent{global_step_, pid, kind, /*object=*/-1,
+                                /*arg=*/0});
+}
 
 void World::count_access(int pid, int register_id, bool is_write) {
   Proc& p = proc(pid);
   if (is_write) {
     ++p.counts.writes;
+    if (obs_writes_total_ != nullptr) {
+      obs_writes_total_->add_shard(0, 1);
+      obs_writes_[static_cast<std::size_t>(pid)]->add_shard(0, 1);
+    }
   } else {
     ++p.counts.reads;
+    if (obs_reads_total_ != nullptr) {
+      obs_reads_total_->add_shard(0, 1);
+      obs_reads_[static_cast<std::size_t>(pid)]->add_shard(0, 1);
+    }
   }
   if (trace_enabled_) {
     trace_.push_back(AccessEvent{global_step_, pid, register_id, is_write});
+  }
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::TraceEvent{
+        global_step_, pid,
+        is_write ? obs::EventKind::kWrite : obs::EventKind::kRead,
+        register_id, /*arg=*/0});
   }
   ++global_step_;
 }
@@ -74,6 +127,7 @@ bool World::step(int pid) {
   if (p.task.handle().done()) {
     p.done = true;
     p.task.check();  // propagate any exception from the process body
+    emit_lifecycle(pid, obs::EventKind::kDone);
     return false;
   }
   return true;

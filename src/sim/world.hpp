@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/coro.hpp"
 #include "sim/register.hpp"
 #include "util/assert.hpp"
@@ -138,6 +140,35 @@ class World {
   void set_trace(bool on) { trace_enabled_ = on; }
   const std::vector<AccessEvent>& trace() const { return trace_; }
 
+  // --- Observability (apram::obs) ------------------------------------------
+
+  // Mirrors every access into per-pid counters `<prefix>.reads.p<pid>` /
+  // `<prefix>.writes.p<pid>` plus the totals `<prefix>.reads` and
+  // `<prefix>.writes` of `registry`. Only accesses made after attachment are
+  // counted. The registry must outlive the World (or a detach_metrics call).
+  void attach_metrics(obs::Registry& registry,
+                      const std::string& prefix = "sim");
+  void detach_metrics();
+
+  // Emits one obs event per atomic step (kRead/kWrite with the register id
+  // at the current global step) plus kSpawn/kDone/kCrash lifecycle events.
+  // The tracer needs a ring per process and must outlive the World.
+  void set_tracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() const { return tracer_; }
+
+  // Attached per-pid counters, for obs::CounterDelta-style region
+  // measurement. Aborts unless attach_metrics was called.
+  const obs::Counter& metrics_reads(int pid) const {
+    APRAM_CHECK_MSG(!obs_reads_.empty(), "attach_metrics not called");
+    APRAM_CHECK(pid >= 0 && pid < num_procs());
+    return *obs_reads_[static_cast<std::size_t>(pid)];
+  }
+  const obs::Counter& metrics_writes(int pid) const {
+    APRAM_CHECK_MSG(!obs_writes_.empty(), "attach_metrics not called");
+    APRAM_CHECK(pid >= 0 && pid < num_procs());
+    return *obs_writes_[static_cast<std::size_t>(pid)];
+  }
+
  private:
   friend class Context;
   template <class T>
@@ -174,11 +205,21 @@ class World {
         "single-writer register written by a foreign process");
   }
 
+  void emit_lifecycle(int pid, obs::EventKind kind);
+
   std::vector<Proc> procs_;
   std::vector<std::unique_ptr<RegisterBase>> registers_;
   std::uint64_t global_step_ = 0;
   bool trace_enabled_ = false;
   std::vector<AccessEvent> trace_;
+
+  // obs hooks; null/empty when not attached. The simulator is single-
+  // threaded, so counter updates go to shard 0 directly.
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* obs_reads_total_ = nullptr;
+  obs::Counter* obs_writes_total_ = nullptr;
+  std::vector<obs::Counter*> obs_reads_;
+  std::vector<obs::Counter*> obs_writes_;
 };
 
 // ---------------------------------------------------------------------------

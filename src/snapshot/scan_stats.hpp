@@ -1,9 +1,12 @@
-// Operation accounting helpers for the §6.2 complexity claims.
+// Closed-form operation accounting for the §6.2 complexity claims.
+//
+// Measurement itself lives in apram::obs: attach a metrics registry to the
+// World (World::attach_metrics) and measure regions with obs::CounterDelta.
+// This header keeps only the paper's closed forms to compare against.
 #pragma once
 
 #include <cstdint>
 
-#include "sim/world.hpp"
 #include "snapshot/lattice_scan.hpp"
 
 namespace apram {
@@ -11,24 +14,5 @@ namespace apram {
 // Closed-form per-Scan costs from §6.2.
 std::uint64_t expected_scan_reads(int n, ScanMode mode);
 std::uint64_t expected_scan_writes(int n, ScanMode mode);
-
-// Measures the read/write delta of one process across a region of code.
-class StepDelta {
- public:
-  StepDelta(const sim::World& world, int pid)
-      : world_(&world), pid_(pid), before_(world.counts(pid)) {}
-
-  sim::StepCounts delta() const {
-    const sim::StepCounts now = world_->counts(pid_);
-    return {now.reads - before_.reads, now.writes - before_.writes};
-  }
-
-  void reset() { before_ = world_->counts(pid_); }
-
- private:
-  const sim::World* world_;
-  int pid_;
-  sim::StepCounts before_;
-};
 
 }  // namespace apram

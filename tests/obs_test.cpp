@@ -1,0 +1,342 @@
+// Tests for apram::obs — metrics registry, event tracer, exporters, and the
+// trace → schedule → replay loop that makes sim traces replay artifacts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/replay_artifact.hpp"
+#include "obs/rt_probe.hpp"
+#include "obs/trace.hpp"
+#include "rt/register.hpp"
+#include "rt/thread_harness.hpp"
+#include "sim/replay.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/world.hpp"
+#include "snapshot/atomic_snapshot.hpp"
+
+namespace apram::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterStartsAtZeroAndAddsUp) {
+  Registry reg;
+  Counter& c = reg.counter("x");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, RegistryReturnsSameHandleForSameName) {
+  Registry reg;
+  Counter& a = reg.counter("shared");
+  Counter& b = reg.counter("shared");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Metrics, ConcurrentIncrementsAggregateExactly) {
+  Registry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c, t] {
+      pin_this_shard(t);
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : ts) t.join();
+  // Exact, not approximate: every relaxed add lands on some shard and
+  // value() sums all shards after the joins' happens-before edges.
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Registry reg;
+  Gauge& g = reg.gauge("level");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Metrics, HistogramBucketsAndMean) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 6u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+}
+
+TEST(Metrics, CounterDeltaMeasuresWindow) {
+  Registry reg;
+  Counter& c = reg.counter("ops");
+  c.add(5);
+  CounterDelta d(c);
+  c.add(7);
+  EXPECT_EQ(d.delta(), 7u);
+  d.reset();
+  c.add(2);
+  EXPECT_EQ(d.delta(), 2u);
+}
+
+TEST(Metrics, KindCollisionAborts) {
+  Registry reg;
+  reg.counter("name");
+  EXPECT_DEATH(reg.gauge("name"), "");
+}
+
+// ------------------------------------------------------------------ trace --
+
+TEST(Trace, RecordsEventsInOrder) {
+  Tracer tr(2, 16);
+  tr.emit({1, 0, EventKind::kRead, 7, 0});
+  tr.emit({2, 1, EventKind::kWrite, 8, 0});
+  tr.emit({3, 0, EventKind::kCas, 9, 1});
+  const auto evs = tr.events();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].kind, EventKind::kRead);
+  EXPECT_EQ(evs[1].pid, 1);
+  EXPECT_EQ(evs[2].arg, 1u);
+  EXPECT_EQ(tr.recorded(), 3u);
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(Trace, OverflowKeepsNewestEvents) {
+  constexpr std::size_t kCap = 8;
+  Tracer tr(1, kCap);
+  for (std::uint64_t i = 0; i < 3 * kCap; ++i) {
+    tr.emit({i, 0, EventKind::kUser, 0, i});
+  }
+  const auto evs = tr.events();
+  ASSERT_EQ(evs.size(), kCap);
+  // The oldest 2*kCap events were overwritten; the newest kCap survive.
+  for (std::size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(evs[i].arg, 2 * kCap + i);
+  }
+  EXPECT_EQ(tr.recorded(), 3 * kCap);
+  EXPECT_EQ(tr.dropped(), 2 * kCap);
+}
+
+TEST(Trace, DrainResetsRingsButKeepsTotals) {
+  Tracer tr(1, 8);
+  tr.emit({1, 0, EventKind::kUser, 0, 0});
+  EXPECT_EQ(tr.drain().size(), 1u);
+  EXPECT_TRUE(tr.events().empty());
+  tr.emit({2, 0, EventKind::kUser, 0, 0});
+  EXPECT_EQ(tr.events().size(), 1u);
+  EXPECT_EQ(tr.recorded(), 2u);
+}
+
+// -------------------------------------------------------------- sim hooks --
+
+TEST(SimObs, AttachMetricsCountsReadsAndWrites) {
+  Registry reg;
+  sim::World w(2);
+  w.attach_metrics(reg);
+  AtomicSnapshotSim<int> snap(w, 2);
+  w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
+    co_await snap.update(ctx, 5);
+  });
+  w.run_solo(0);
+  // Registry-recorded counts agree with the world's bespoke counters.
+  EXPECT_EQ(w.metrics_reads(0).value(), w.counts(0).reads);
+  EXPECT_EQ(w.metrics_writes(0).value(), w.counts(0).writes);
+  EXPECT_EQ(reg.counter("sim.reads").value(), w.counts(0).reads);
+}
+
+// The tentpole loop: trace a 3-process run, project the trace to a schedule,
+// and replay it via sim/replay — the replayed run is step-identical.
+TEST(SimObs, TraceOfThreeProcessRunReplaysIdentically) {
+  struct Run : sim::Execution {
+    explicit Run(int n) : w(n), snap(w, n) {}
+    sim::World& world() override { return w; }
+    sim::World w;
+    AtomicSnapshotSim<int> snap;
+    std::vector<int> scans;
+  };
+  const int n = 3;
+  auto factory = [n]() -> std::unique_ptr<sim::Execution> {
+    auto run = std::make_unique<Run>(n);
+    Run* r = run.get();
+    for (int pid = 0; pid < n; ++pid) {
+      r->w.spawn(pid, [r, pid](sim::Context ctx) -> sim::ProcessTask {
+        co_await r->snap.update(ctx, pid + 1);
+        const auto view = co_await r->snap.scan(ctx);
+        std::int64_t sum = 0;
+        for (const auto& v : view) sum += v.value_or(0);
+        r->scans.push_back(static_cast<int>(sum));
+      });
+    }
+    return run;
+  };
+
+  // Original run: random schedule, traced.
+  Tracer tracer(n, 4096);
+  auto orig = factory();
+  orig->world().set_tracer(&tracer);
+  sim::RandomScheduler sched(/*seed=*/7, /*stickiness=*/0.5);
+  ASSERT_TRUE(orig->world().run(sched).all_done);
+  const auto events = tracer.events();
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  // Project onto the access schedule and round-trip through the text format.
+  const auto schedule = schedule_from_trace(events);
+  std::stringstream ss;
+  save_schedule(ss, schedule);
+  const auto loaded = load_schedule(ss);
+  ASSERT_EQ(loaded, schedule);
+
+  // Replay through sim/replay: identical per-pid step counts and results.
+  auto replayed_exec = sim::replay(factory, loaded);
+  auto* replayed = static_cast<Run*>(replayed_exec.get());
+  for (int pid = 0; pid < n; ++pid) {
+    EXPECT_TRUE(replayed->w.done(pid));
+    EXPECT_EQ(replayed->w.counts(pid).reads,
+              orig->world().counts(pid).reads);
+    EXPECT_EQ(replayed->w.counts(pid).writes,
+              orig->world().counts(pid).writes);
+  }
+  EXPECT_EQ(replayed->scans, static_cast<Run*>(orig.get())->scans);
+
+  // And the replayed run's own trace matches the original event-for-event.
+  Tracer tracer2(n, 4096);
+  auto traced_replay = factory();
+  traced_replay->world().set_tracer(&tracer2);
+  sim::FixedScheduler fs(loaded, sim::FixedScheduler::Fallback::kStop);
+  ASSERT_TRUE(traced_replay->world().run(fs).all_done);
+  const auto events2 = tracer2.events();
+  ASSERT_EQ(events2.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events2[i].when, events[i].when);
+    EXPECT_EQ(events2[i].pid, events[i].pid);
+    EXPECT_EQ(events2[i].kind, events[i].kind);
+    EXPECT_EQ(events2[i].object, events[i].object);
+  }
+}
+
+// --------------------------------------------------------------- rt hooks --
+
+TEST(RtObs, ProbeCountsRegisterAccesses) {
+  Registry reg;
+  RtProbe probe{&reg.counter("r"), &reg.counter("w"), &reg.counter("c"),
+                nullptr, 0};
+  rt::SWMRRegister<std::int64_t> r(0);
+  r.attach_probe(&probe);
+  r.write(9);
+  EXPECT_EQ(r.read(), 9);
+  EXPECT_EQ(r.read(), 9);
+  EXPECT_EQ(reg.counter("r").value(), 2u);
+  EXPECT_EQ(reg.counter("w").value(), 1u);
+
+  rt::CASRegister<std::int64_t> cr(0);
+  cr.attach_probe(&probe);
+  std::int64_t expected = 0;
+  EXPECT_TRUE(cr.compare_exchange(expected, 5));
+  expected = 0;
+  EXPECT_FALSE(cr.compare_exchange(expected, 7));
+  EXPECT_EQ(expected, 5);
+  EXPECT_EQ(reg.counter("c").value(), 2u);
+}
+
+TEST(RtObs, HarnessTracesSpawnAndDonePerThread) {
+  Tracer tracer(4, 64);
+  Registry reg;
+  Counter& body_runs = reg.counter("body");
+  rt::parallel_run(
+      4,
+      [&](int pid) {
+        EXPECT_EQ(thread_pid(), pid);
+        body_runs.add();
+      },
+      &tracer);
+  EXPECT_EQ(body_runs.value(), 4u);
+  const auto evs = tracer.events();
+  int spawns = 0;
+  int dones = 0;
+  for (const auto& ev : evs) {
+    if (ev.kind == EventKind::kSpawn) ++spawns;
+    if (ev.kind == EventKind::kDone) ++dones;
+  }
+  EXPECT_EQ(spawns, 4);
+  EXPECT_EQ(dones, 4);
+  EXPECT_EQ(thread_pid(), -1);  // identity cleared outside the harness
+}
+
+TEST(RtObs, ProbedRegisterTracesUnderHarness) {
+  Tracer tracer(2, 256);
+  Registry reg;
+  RtProbe probe{&reg.counter("r"), &reg.counter("w"), nullptr, &tracer, 3};
+  rt::SWMRRegister<std::int64_t> r(0);
+  r.attach_probe(&probe);
+  rt::parallel_run(
+      2,
+      [&](int pid) {
+        if (pid == 0) {
+          for (int i = 0; i < 10; ++i) r.write(i);
+        } else {
+          for (int i = 0; i < 10; ++i) (void)r.read();
+        }
+      },
+      &tracer);
+  EXPECT_EQ(reg.counter("w").value(), 10u);
+  EXPECT_EQ(reg.counter("r").value(), 10u);
+  int traced_accesses = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind == EventKind::kRead || ev.kind == EventKind::kWrite) {
+      EXPECT_EQ(ev.object, 3);
+      ++traced_accesses;
+    }
+  }
+  EXPECT_EQ(traced_accesses, 20);
+}
+
+// -------------------------------------------------------------- exporters --
+
+TEST(Export, JsonContainsMetricsAndEvents) {
+  Registry reg;
+  reg.counter("reads").add(4);
+  reg.gauge("depth").set(-2);
+  reg.histogram("lat").record(8);
+  Tracer tr(1, 8);
+  tr.emit({5, 0, EventKind::kWrite, 2, 0});
+  const std::string json = to_json(reg, &tr, "unit");
+  EXPECT_NE(json.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"reads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"write\""), std::string::npos);
+}
+
+TEST(Export, TableListsEveryMetric) {
+  Registry reg;
+  reg.counter("a").add(1);
+  reg.gauge("b").set(2);
+  std::stringstream ss;
+  registry_table(reg, "t").print(ss);
+  EXPECT_NE(ss.str().find("a"), std::string::npos);
+  EXPECT_NE(ss.str().find("b"), std::string::npos);
+}
+
+TEST(ReplayArtifact, ScheduleFileRoundTrips) {
+  const std::vector<int> sched = {0, 1, 2, 1, 0, 2, 2};
+  const std::string path = "obs_test.schedule.txt";
+  write_schedule_file(path, sched);
+  EXPECT_EQ(read_schedule_file(path), sched);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace apram::obs

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "lattice/lattice.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/world.hpp"
 #include "snapshot/atomic_snapshot.hpp"
@@ -114,15 +115,17 @@ class ScanOpCounts : public ::testing::TestWithParam<std::tuple<int, ScanMode>> 
 TEST_P(ScanOpCounts, MatchesClosedForm) {
   const auto [n, mode] = GetParam();
   World w(n);
+  obs::Registry registry;
+  w.attach_metrics(registry);
   LatticeScanSim<MaxL> ls(w, n, "ls", mode);
   w.spawn(0, [&](Context ctx) -> ProcessTask {
     co_await ls.scan(ctx, 5);
   });
-  StepDelta probe(w, 0);
+  obs::CounterDelta reads(w.metrics_reads(0));
+  obs::CounterDelta writes(w.metrics_writes(0));
   w.run_solo(0);
-  const auto d = probe.delta();
-  EXPECT_EQ(d.reads, expected_scan_reads(n, mode)) << "n=" << n;
-  EXPECT_EQ(d.writes, expected_scan_writes(n, mode)) << "n=" << n;
+  EXPECT_EQ(reads.delta(), expected_scan_reads(n, mode)) << "n=" << n;
+  EXPECT_EQ(writes.delta(), expected_scan_writes(n, mode)) << "n=" << n;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/universal.hpp"
+#include "obs/metrics.hpp"
 #include "objects/counter.hpp"
 #include "objects/fast_counter.hpp"
 #include "objects/grow_set.hpp"
@@ -138,7 +139,9 @@ TEST(UniversalCounter, ReadsAreMonotoneUnderIncOnlyWorkload) {
       for (std::size_t i = 0; i < rs.size(); ++i) {
         EXPECT_GE(rs[i], static_cast<std::int64_t>(i) + 1);
         EXPECT_LE(rs[i], static_cast<std::int64_t>(n) * 3);
-        if (i > 0) EXPECT_GE(rs[i], rs[i - 1]);
+        if (i > 0) {
+          EXPECT_GE(rs[i], rs[i - 1]);
+        }
       }
     }
   }
@@ -223,15 +226,18 @@ TEST(UniversalCounter, SurvivorCompletesDespiteCrashes) {
 TEST(UniversalCounter, PerOperationSharedAccessCostIsScanPlusOneWrite) {
   for (int n : {1, 2, 4, 8}) {
     World w(n);
+    obs::Registry registry;
+    w.attach_metrics(registry);
     CounterSim c(w, n);
     w.spawn(0, [&](Context ctx) -> ProcessTask {
       co_await c.inc(ctx, 1);
     });
-    StepDelta probe(w, 0);
+    obs::CounterDelta reads(w.metrics_reads(0));
+    obs::CounterDelta writes(w.metrics_writes(0));
     w.run_solo(0);
-    const auto d = probe.delta();
-    EXPECT_EQ(d.reads, expected_scan_reads(n, ScanMode::kOptimized));
-    EXPECT_EQ(d.writes, expected_scan_writes(n, ScanMode::kOptimized) + 1);
+    EXPECT_EQ(reads.delta(), expected_scan_reads(n, ScanMode::kOptimized));
+    EXPECT_EQ(writes.delta(),
+              expected_scan_writes(n, ScanMode::kOptimized) + 1);
   }
 }
 
@@ -347,13 +353,15 @@ TEST(FastCounter, ConcurrentIncrementsAllCounted) {
 
 TEST(FastCounter, UpdateCostIsOneWrite) {
   World w(6);
+  obs::Registry registry;
+  w.attach_metrics(registry);
   FastCounterSim c(w, 6);
   w.spawn(0, [&](Context ctx) -> ProcessTask { co_await c.inc(ctx, 1); });
-  StepDelta probe(w, 0);
+  obs::CounterDelta reads(w.metrics_reads(0));
+  obs::CounterDelta writes(w.metrics_writes(0));
   w.run_solo(0);
-  const auto d = probe.delta();
-  EXPECT_EQ(d.reads, 0u);
-  EXPECT_EQ(d.writes, 1u);
+  EXPECT_EQ(reads.delta(), 0u);
+  EXPECT_EQ(writes.delta(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Checks that every tracked C++ source file satisfies .clang-format.
+# Usage: tools/check_format.sh [--fix]
+#
+# Exits 0 when everything is formatted (or when no clang-format binary is
+# available — local toolchains may not ship one; CI installs it). Exits 1
+# and lists offending files otherwise.
+set -u
+
+cd "$(dirname "$0")/.."
+
+FIX=0
+if [ "${1:-}" = "--fix" ]; then
+  FIX=1
+fi
+
+CLANG_FORMAT=""
+for candidate in clang-format clang-format-18 clang-format-17 \
+                 clang-format-16 clang-format-15 clang-format-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    CLANG_FORMAT="$candidate"
+    break
+  fi
+done
+
+if [ -z "$CLANG_FORMAT" ]; then
+  echo "check_format: no clang-format binary found; skipping (install one" \
+       "or run in CI, which provides it)."
+  exit 0
+fi
+
+FILES=$(git ls-files '*.cpp' '*.hpp' '*.cc' '*.h' | grep -v '^build')
+if [ -z "$FILES" ]; then
+  echo "check_format: no C++ files tracked."
+  exit 0
+fi
+
+if [ "$FIX" = 1 ]; then
+  # shellcheck disable=SC2086
+  $CLANG_FORMAT -i $FILES
+  echo "check_format: reformatted $(echo "$FILES" | wc -l) files."
+  exit 0
+fi
+
+STATUS=0
+for f in $FILES; do
+  if ! $CLANG_FORMAT --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    STATUS=1
+  fi
+done
+
+if [ "$STATUS" = 0 ]; then
+  echo "check_format: OK ($(echo "$FILES" | wc -l) files, $CLANG_FORMAT)."
+else
+  echo "check_format: run tools/check_format.sh --fix"
+fi
+exit "$STATUS"
