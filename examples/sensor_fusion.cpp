@@ -53,8 +53,10 @@ int main() {
     });
   }
   sim::RandomScheduler random_sched(/*seed=*/99, /*stickiness=*/0.8);
+  // The trigger counts sensor 3's OWN accesses: 7 accesses into its phase-2
+  // output call (on top of its phase-1 work), it dies.
   sim::CrashingScheduler sched(random_sched,
-                               {{world.global_step() + 7, /*pid=*/3}});
+                               {{world.counts(3).total() + 7, /*pid=*/3}});
   world.run(sched);
 
   std::printf("raw readings        : ");

@@ -38,6 +38,10 @@ class TwoProcExecution final : public AgreementExecution {
 
 // Preference oracle: the value `pid` returns when running alone after
 // `prefix` (Lemma 6's definition, computed by replay).
+//
+// The FixedSchedulers below stay in the default lenient (Divergence::kSkip)
+// mode on purpose: gap_for() extends prefixes speculatively, so a prefix may
+// carry steps for a process that completes earlier on this re-execution.
 double preference(const AgreementFactory& factory,
                   const std::vector<int>& prefix, int pid) {
   auto exec = factory();

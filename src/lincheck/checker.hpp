@@ -30,19 +30,28 @@ class LinearizabilityChecker {
     APRAM_CHECK_MSG(ops_.size() <= 64, "history too large for bitmask search");
   }
 
-  // True iff the history is linearizable with respect to S.
+  // True iff the history is linearizable with respect to S. Idempotent:
+  // repeated calls return the same verdict and leave the same witness, with
+  // no state leaking from one search into the next.
   bool check() {
     memo_.clear();
     witness_.clear();
     const bool ok = search(0, S::initial());
+    if (!ok) {
+      // Guarantee the witness() postcondition even if a future edit to
+      // search() ever pushes onto a failing path: a failed check must never
+      // expose a partial (or stale) linearization.
+      witness_.clear();
+      return false;
+    }
     // The witness is accumulated on the unwind, deepest-first; reverse it
     // into linearization order. Dropped pending ops do not appear.
     std::reverse(witness_.begin(), witness_.end());
-    return ok;
+    return true;
   }
 
-  // On success, a witness order (indices into the history, excluding any
-  // dropped pending operations).
+  // A witness order (indices into the history, excluding any dropped pending
+  // operations). Empty unless the most recent check() returned true.
   const std::vector<std::size_t>& witness() const { return witness_; }
 
  private:

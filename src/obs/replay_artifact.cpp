@@ -26,8 +26,14 @@ std::vector<int> schedule_from_trace(const std::vector<TraceEvent>& events) {
   return schedule;
 }
 
-void save_schedule(std::ostream& os, const std::vector<int>& schedule) {
+void save_schedule(std::ostream& os, const std::vector<int>& schedule,
+                   const std::vector<std::string>& comments) {
   os << "# apram-schedule v1\n";
+  for (const std::string& line : comments) {
+    APRAM_CHECK_MSG(line.find('\n') == std::string::npos,
+                    "schedule comment contains a newline");
+    os << "# " << line << '\n';
+  }
   for (int pid : schedule) os << pid << '\n';
 }
 
@@ -46,10 +52,11 @@ std::vector<int> load_schedule(std::istream& is) {
 }
 
 void write_schedule_file(const std::string& path,
-                         const std::vector<int>& schedule) {
+                         const std::vector<int>& schedule,
+                         const std::vector<std::string>& comments) {
   std::ofstream out(path);
   APRAM_CHECK_MSG(out.good(), "cannot open schedule output file");
-  save_schedule(out, schedule);
+  save_schedule(out, schedule, comments);
   out.flush();
   APRAM_CHECK_MSG(out.good(), "schedule artifact write failed");
 }

@@ -31,12 +31,18 @@ namespace apram::obs {
 // events (spawn/done/crash/user) are skipped — they consume no grants.
 std::vector<int> schedule_from_trace(const std::vector<TraceEvent>& events);
 
-void save_schedule(std::ostream& os, const std::vector<int>& schedule);
+// `comments` lines (if any) are written after the header as '# '-prefixed
+// annotations — seeds, fault plans, violation descriptions. The loader
+// ignores them, so annotated artifacts replay like plain ones. Comment
+// lines must not contain newlines.
+void save_schedule(std::ostream& os, const std::vector<int>& schedule,
+                   const std::vector<std::string>& comments = {});
 std::vector<int> load_schedule(std::istream& is);
 
 // File convenience wrappers; abort on I/O failure.
 void write_schedule_file(const std::string& path,
-                         const std::vector<int>& schedule);
+                         const std::vector<int>& schedule,
+                         const std::vector<std::string>& comments = {});
 std::vector<int> read_schedule_file(const std::string& path);
 
 }  // namespace apram::obs

@@ -29,6 +29,10 @@ class FastCounterRT {
     snap_.attach_obs(registry, name, tracer);
   }
 
+  void attach_injector(fault::RtInjector* injector) {
+    snap_.attach_injector(injector);
+  }
+
   void inc(int p, std::int64_t by = 1) { add(p, by); }
   void dec(int p, std::int64_t by = 1) { add(p, -by); }
 

@@ -98,6 +98,16 @@ class LatticeScanRT {
     }
   }
 
+  // Attaches a fault injector to every register of the scan matrix (see
+  // fault/rt_inject.hpp); nullptr detaches. Attach before concurrent use.
+  void attach_injector(fault::RtInjector* injector) {
+    for (int p = 0; p < n_; ++p) {
+      for (int i = 0; i <= n_ + 1; ++i) {
+        reg(p, i).attach_injector(injector);
+      }
+    }
+  }
+
   // One-write contribution (snapshot update path).
   void post(int p, Value v) {
     auto& cache = caches_[static_cast<std::size_t>(p)]->row;
@@ -160,6 +170,10 @@ class AtomicSnapshotRT {
   void attach_obs(obs::Registry& registry, const std::string& name,
                   obs::Tracer* tracer = nullptr) {
     scan_.attach_obs(registry, name, tracer);
+  }
+
+  void attach_injector(fault::RtInjector* injector) {
+    scan_.attach_injector(injector);
   }
 
   std::vector<std::optional<T>> update_and_scan(int p, T v) {

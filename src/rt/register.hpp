@@ -19,12 +19,18 @@
 // unattached, an access pays one relaxed pointer load and a predictable
 // branch; attached, each access is counted (relaxed fetch_add) and — when
 // the calling thread has a model pid — traced with an rt timestamp.
+//
+// They also carry an optional apram::fault::RtInjector (attach_injector)
+// that fires BEFORE the access takes effect — the injection point is the
+// access boundary, the only place the model lets an adversary act. The
+// unattached cost is the same one relaxed load + branch as the probe.
 #pragma once
 
 #include <atomic>
 #include <deque>
 #include <utility>
 
+#include "fault/rt_inject.hpp"
 #include "obs/rt_probe.hpp"
 #include "util/assert.hpp"
 
@@ -44,6 +50,9 @@ class SWMRRegister {
   // Any thread. Wait-free: one acquire load. The reference stays valid for
   // the register's lifetime (nodes are immutable and never reclaimed).
   const T& read() const {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
     const T& v = *current_.load(std::memory_order_acquire);
     if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
       p->on_read();
@@ -53,6 +62,9 @@ class SWMRRegister {
 
   // Owner thread only (single writer). Wait-free: one release store.
   void write(T v) {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
     nodes_.push_back(std::move(v));
     current_.store(&nodes_.back(), std::memory_order_release);
     if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
@@ -70,10 +82,17 @@ class SWMRRegister {
     probe_.store(probe, std::memory_order_release);
   }
 
+  // The injector must outlive the register (or a detaching
+  // attach_injector(nullptr) call). Attach before concurrent use begins.
+  void attach_injector(fault::RtInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   std::deque<T> nodes_;
   std::atomic<const T*> current_;
   std::atomic<const obs::RtProbe*> probe_{nullptr};
+  std::atomic<fault::RtInjector*> injector_{nullptr};
 };
 
 // Multi-writer register with compare-and-swap — the building block for rt
@@ -92,6 +111,9 @@ class CASRegister {
   CASRegister& operator=(const CASRegister&) = delete;
 
   T read() const {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
     const T v = v_.load(std::memory_order_acquire);
     if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
       p->on_read();
@@ -100,6 +122,9 @@ class CASRegister {
   }
 
   void write(T v) {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
     v_.store(v, std::memory_order_release);
     if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
       p->on_write();
@@ -109,6 +134,9 @@ class CASRegister {
   // On failure `expected` is updated to the observed value, as with
   // std::atomic::compare_exchange_strong.
   bool compare_exchange(T& expected, T desired) {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
     const bool ok = v_.compare_exchange_strong(
         expected, desired, std::memory_order_acq_rel,
         std::memory_order_acquire);
@@ -122,9 +150,14 @@ class CASRegister {
     probe_.store(probe, std::memory_order_release);
   }
 
+  void attach_injector(fault::RtInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   std::atomic<T> v_;
   std::atomic<const obs::RtProbe*> probe_{nullptr};
+  std::atomic<fault::RtInjector*> injector_{nullptr};
 };
 
 }  // namespace apram::rt

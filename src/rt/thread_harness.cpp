@@ -1,5 +1,6 @@
 #include "rt/thread_harness.hpp"
 
+#include <memory>
 #include <thread>
 
 #include "obs/rt_probe.hpp"
@@ -7,21 +8,35 @@
 
 namespace apram::rt {
 
-void parallel_run(int num_threads, const std::function<void(int)>& body,
-                  obs::Tracer* tracer) {
+namespace {
+
+// Shared launch path of parallel_run / run_with_stall: spawns the workers,
+// releases the start barrier once all are waiting on it, and returns the
+// joinable threads. The barrier outlives this function via shared_ptr — the
+// last worker through it drops the final reference; `on_done` may be a
+// temporary at the call site, so each worker holds its own copy.
+// `on_done(pid)` (may be empty) runs on the worker right after its body
+// returns, before the kDone trace event.
+struct StartBarrier {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+};
+
+std::vector<std::thread> launch_workers(
+    int num_threads, const std::function<void(int)>& body,
+    obs::Tracer* tracer, const std::function<void(int)>& on_done) {
   APRAM_CHECK(num_threads >= 1);
   APRAM_CHECK_MSG(tracer == nullptr || tracer->num_rings() >= num_threads,
                   "tracer needs one ring per harness thread");
-  std::atomic<int> ready{0};
-  std::atomic<bool> go{false};
+  auto barrier = std::make_shared<StartBarrier>();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_threads));
   for (int pid = 0; pid < num_threads; ++pid) {
-    threads.emplace_back([&, pid] {
+    threads.emplace_back([barrier, &body, tracer, on_done, pid] {
       obs::set_thread_pid(pid);
       obs::pin_this_shard(pid);
-      ready.fetch_add(1, std::memory_order_relaxed);
-      while (!go.load(std::memory_order_acquire)) {
+      barrier->ready.fetch_add(1, std::memory_order_relaxed);
+      while (!barrier->go.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
       if (tracer != nullptr) {
@@ -29,6 +44,7 @@ void parallel_run(int num_threads, const std::function<void(int)>& body,
                                      obs::EventKind::kSpawn, -1, 0});
       }
       body(pid);
+      if (on_done) on_done(pid);
       if (tracer != nullptr) {
         tracer->emit(obs::TraceEvent{tracer->now_ns(), pid,
                                      obs::EventKind::kDone, -1, 0});
@@ -36,10 +52,51 @@ void parallel_run(int num_threads, const std::function<void(int)>& body,
       obs::set_thread_pid(-1);
     });
   }
-  while (ready.load(std::memory_order_relaxed) < num_threads) {
+  while (barrier->ready.load(std::memory_order_relaxed) < num_threads) {
     std::this_thread::yield();
   }
-  go.store(true, std::memory_order_release);
+  barrier->go.store(true, std::memory_order_release);
+  return threads;
+}
+
+}  // namespace
+
+void parallel_run(int num_threads, const std::function<void(int)>& body,
+                  obs::Tracer* tracer) {
+  std::vector<std::thread> threads =
+      launch_workers(num_threads, body, tracer, {});
+  for (auto& t : threads) t.join();
+}
+
+void run_with_stall(int num_threads, const std::function<void(int)>& body,
+                    fault::RtInjector& injector, int victim,
+                    std::uint64_t stall_after,
+                    const std::function<void()>& while_stalled,
+                    obs::Tracer* tracer) {
+  APRAM_CHECK(victim >= 0 && victim < num_threads);
+  injector.arm_stall(victim, stall_after);
+
+  std::atomic<bool> victim_done{false};
+  std::vector<std::thread> threads = launch_workers(
+      num_threads, body, tracer, [&victim_done, victim](int pid) {
+        if (pid == victim) victim_done.store(true, std::memory_order_release);
+      });
+
+  // Wait until the victim is parked — or until it finished its whole body
+  // below the stall threshold (completion wins, as with sim crashes). The
+  // deadline turns a harness deadlock into a loud failure.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!injector.stall_engaged() &&
+         !victim_done.load(std::memory_order_acquire)) {
+    APRAM_CHECK_MSG(std::chrono::steady_clock::now() < deadline,
+                    "stall victim neither parked nor finished");
+    std::this_thread::yield();
+  }
+
+  if (while_stalled) while_stalled();
+
+  injector.release_stall();
   for (auto& t : threads) t.join();
 }
 

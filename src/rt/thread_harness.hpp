@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/rt_inject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -23,6 +24,22 @@ namespace apram::rt {
 // the quiescence point after which tracer reads are exact.
 void parallel_run(int num_threads, const std::function<void(int)>& body,
                   obs::Tracer* tracer = nullptr);
+
+// parallel_run with a hard stall: arms `injector` so that thread `victim`
+// parks after exactly `stall_after` register accesses (see
+// fault::RtInjector::arm_stall), waits for the victim to actually park —
+// or for its body to finish first, mirroring the sim's completion-wins
+// crash semantics — runs `while_stalled()` on the calling thread against
+// the victim's half-finished state, releases the stall, and joins.
+//
+// The injector must already be attached to the registers the bodies use.
+// while_stalled executes on the caller, which has no model pid, so its own
+// register accesses pass through the injector uninjected.
+void run_with_stall(int num_threads, const std::function<void(int)>& body,
+                    fault::RtInjector& injector, int victim,
+                    std::uint64_t stall_after,
+                    const std::function<void()>& while_stalled,
+                    obs::Tracer* tracer = nullptr);
 
 // Cooperative stop flag + per-thread op counters for throughput runs:
 // threads loop `while (!stop)` calling the operation under test; the main

@@ -1,5 +1,7 @@
 #include "sim/scheduler.hpp"
 
+#include <string>
+
 namespace apram::sim {
 
 int RoundRobinScheduler::pick(World& w) {
@@ -34,8 +36,19 @@ int FixedScheduler::pick(World& w) {
     const int pid = schedule_[pos_];
     ++pos_;
     if (pid >= 0 && pid < w.num_procs() && w.runnable(pid)) return pid;
-    // A scheduled pid that already finished (or crashed) is skipped: replay
-    // prefixes may extend past a process's completion point.
+    if (divergence_ == Divergence::kFail) {
+      const char* why = (pid < 0 || pid >= w.num_procs()) ? "out of range"
+                        : !w.spawned(pid)                 ? "never spawned"
+                        : w.crashed(pid)                  ? "crashed"
+                                                          : "already done";
+      const std::string msg =
+          "schedule diverged at position " + std::to_string(pos_ - 1) +
+          ": pid " + std::to_string(pid) + " is not runnable (" + why +
+          "); the schedule does not match this execution";
+      APRAM_CHECK_MSG(false, msg.c_str());
+    }
+    // kSkip: a scheduled pid that already finished (or crashed) is dropped —
+    // speculative prefixes may extend past a process's completion point.
   }
   if (fallback_ == Fallback::kRoundRobin) return rr_.pick(w);
   return -1;
@@ -49,17 +62,28 @@ int RecordingScheduler::pick(World& w) {
 
 CrashingScheduler::CrashingScheduler(
     Scheduler& inner, std::vector<std::pair<std::uint64_t, int>> crashes)
-    : inner_(&inner) {
-  for (const auto& [step, pid] : crashes) crashes_.emplace(step, pid);
-}
+    : inner_(&inner), crashes_(std::move(crashes)) {}
 
 int CrashingScheduler::pick(World& w) {
-  // Fire all crashes whose trigger step has been reached.
-  while (!crashes_.empty() && crashes_.begin()->first <= w.global_step()) {
-    const int victim = crashes_.begin()->second;
-    crashes_.erase(crashes_.begin());
-    if (!w.done(victim)) w.crash(victim);
+  // Fire every crash whose victim has taken its quota of own steps. The
+  // check runs before the next grant is chosen, so a victim with quota S is
+  // crashed after its S-th access and before its (S+1)-th. Entries whose
+  // victim already finished (or crashed) are dropped: completion wins.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < crashes_.size(); ++i) {
+    const auto [quota, victim] = crashes_[i];
+    if (!w.spawned(victim)) {
+      crashes_[keep++] = crashes_[i];  // not started yet: keep waiting
+      continue;
+    }
+    if (w.done(victim) || w.crashed(victim)) continue;
+    if (w.counts(victim).total() >= quota) {
+      w.crash(victim);
+      continue;
+    }
+    crashes_[keep++] = crashes_[i];
   }
+  crashes_.resize(keep);
   return inner_->pick(w);
 }
 

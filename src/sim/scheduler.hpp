@@ -10,8 +10,9 @@
 //   RandomScheduler       — seeded uniform interleavings, optionally biased
 //   FixedScheduler        — replays an explicit schedule (determinism/replay)
 //   RecordingScheduler    — wraps another scheduler and records its picks
-//   CrashingScheduler     — wraps another scheduler, crashing chosen pids at
-//                           chosen global steps (failure injection)
+//   CrashingScheduler     — wraps another scheduler, crashing chosen pids
+//                           after a chosen number of their own steps
+//                           (failure injection)
 //   SoloScheduler         — runs a single process to completion
 //
 // Programmable adversaries (e.g. the Lemma 6 lower-bound adversary) live
@@ -19,7 +20,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "sim/world.hpp"
@@ -61,17 +62,32 @@ class RandomScheduler final : public Scheduler {
   int last_ = -1;
 };
 
-// Replays a fixed pid sequence; after it is exhausted (or when the scheduled
-// pid is not runnable) behaviour depends on `fallback`:
+// Replays a fixed pid sequence; after it is exhausted behaviour depends on
+// `fallback`:
 //   kStop       — pick() returns -1
 //   kRoundRobin — continue round-robin over runnable processes
+//
+// A scheduled pid that is not runnable (finished, crashed, out of range) is
+// a *divergence*: the execution being driven no longer matches the one the
+// schedule was recorded from. `divergence` selects the response:
+//   kSkip — drop the entry and move on. Use for speculative prefix
+//           extension (sim/explore, the Lemma 6 adversary), where schedules
+//           legitimately overrun a process's completion point.
+//   kFail — abort with the position, pid, and reason. Use for replay of
+//           recorded schedules (sim/replay, campaign artifacts), where a
+//           divergence means the artifact is corrupt or the program under
+//           replay is not deterministic.
 class FixedScheduler final : public Scheduler {
  public:
   enum class Fallback { kStop, kRoundRobin };
+  enum class Divergence { kSkip, kFail };
 
   explicit FixedScheduler(std::vector<int> schedule,
-                          Fallback fallback = Fallback::kStop)
-      : schedule_(std::move(schedule)), fallback_(fallback) {}
+                          Fallback fallback = Fallback::kStop,
+                          Divergence divergence = Divergence::kSkip)
+      : schedule_(std::move(schedule)),
+        fallback_(fallback),
+        divergence_(divergence) {}
 
   int pick(World& w) override;
 
@@ -81,6 +97,7 @@ class FixedScheduler final : public Scheduler {
   std::vector<int> schedule_;
   std::size_t pos_ = 0;
   Fallback fallback_;
+  Divergence divergence_;
   RoundRobinScheduler rr_;
 };
 
@@ -97,7 +114,15 @@ class RecordingScheduler final : public Scheduler {
   std::vector<int> picks_;
 };
 
-// Crashes process `pid` just before global step `at_step` would be granted.
+// Crash injection keyed to the victim's OWN step count. A pair {S, pid}
+// crashes `pid` before its (S+1)-th shared-memory access: the victim
+// performs exactly S accesses, or fewer only because its program is shorter
+// — a process that completes before reaching S is never crashed (completion
+// wins, matching the model where a finished process has nothing left to
+// lose). Unlike a global-step trigger, this pins the crash point *within
+// the victim's operation* independently of how the other processes are
+// interleaved, which is what "crash a writer one step before its final
+// write" needs to mean under an arbitrary scheduler.
 class CrashingScheduler final : public Scheduler {
  public:
   CrashingScheduler(Scheduler& inner,
@@ -107,7 +132,7 @@ class CrashingScheduler final : public Scheduler {
 
  private:
   Scheduler* inner_;
-  std::multimap<std::uint64_t, int> crashes_;  // step -> pid
+  std::vector<std::pair<std::uint64_t, int>> crashes_;  // {victim steps, pid}
 };
 
 class SoloScheduler final : public Scheduler {

@@ -33,6 +33,8 @@ void World::spawn(int pid, ProcessFn fn) {
     p.done = true;
     p.task.check();
     emit_lifecycle(pid, obs::EventKind::kDone);
+  } else {
+    maybe_fire_scheduled_crash(pid);  // covers crash_at == current total
   }
 }
 
@@ -52,6 +54,21 @@ int World::num_runnable() const {
 void World::crash(int pid) {
   proc(pid).crashed = true;
   emit_lifecycle(pid, obs::EventKind::kCrash);
+}
+
+void World::schedule_crash(int pid, std::uint64_t at_access) {
+  Proc& p = proc(pid);
+  APRAM_CHECK_MSG(!p.crashed, "schedule_crash on a crashed process");
+  p.crash_at = at_access;
+  maybe_fire_scheduled_crash(pid);
+}
+
+void World::maybe_fire_scheduled_crash(int pid) {
+  const Proc& p = proc(pid);
+  // Completion wins: a process that finished its program below the
+  // threshold keeps its result. Unspawned processes wait for spawn().
+  if (!p.task.valid() || p.done || p.crashed) return;
+  if (p.counts.total() >= p.crash_at) crash(pid);
 }
 
 void World::attach_metrics(obs::Registry& registry,
@@ -130,7 +147,8 @@ bool World::step(int pid) {
     emit_lifecycle(pid, obs::EventKind::kDone);
     return false;
   }
-  return true;
+  maybe_fire_scheduled_crash(pid);
+  return runnable(pid);
 }
 
 RunResult World::run(Scheduler& sched, std::uint64_t max_steps) {

@@ -107,6 +107,15 @@ class World {
   // by the other processes must still complete.
   void crash(int pid);
 
+  // Schedules a crash keyed to the process's OWN accesses: `pid` is crashed
+  // as soon as its cumulative access count (reads + writes, across respawns)
+  // reaches `at_access` — i.e. before its (at_access+1)-th access — no
+  // matter which scheduler drives the run. Fires immediately if the
+  // threshold is already met. Completion wins: a process whose program
+  // finishes below the threshold is never crashed. This is how fault plans
+  // inject crashes under schedulers they do not control (explore, replay).
+  void schedule_crash(int pid, std::uint64_t at_access);
+
   // --- Execution -----------------------------------------------------------
 
   // Grants one atomic step to `pid`. Returns true if the process is still
@@ -176,6 +185,9 @@ class World {
   template <class T>
   friend struct WriteAwaiter;
 
+  static constexpr std::uint64_t kNoScheduledCrash =
+      ~static_cast<std::uint64_t>(0);
+
   struct Proc {
     ProcessFn fn;  // keeps the closure alive
     ProcessTask task;
@@ -183,6 +195,7 @@ class World {
     bool done = false;
     bool crashed = false;
     StepCounts counts;
+    std::uint64_t crash_at = kNoScheduledCrash;  // see schedule_crash
   };
 
   Proc& proc(int pid) {
@@ -206,6 +219,7 @@ class World {
   }
 
   void emit_lifecycle(int pid, obs::EventKind kind);
+  void maybe_fire_scheduled_crash(int pid);
 
   std::vector<Proc> procs_;
   std::vector<std::unique_ptr<RegisterBase>> registers_;

@@ -235,8 +235,10 @@ TEST(ApproxAgreement, SurvivorFinishesDespiteCrash) {
     }
     sim::RoundRobinScheduler rr0;
     ASSERT_TRUE(w.run(rr0).all_done);
-    const std::uint64_t phase2 = w.global_step();
-    // Phase 2: outputs; crash pid 0 partway through.
+    // Phase 2: outputs; crash pid 0 partway through. Crash triggers count the
+    // VICTIM's own accesses (across respawns), so the phase-2 offset is
+    // relative to the victim's phase-1 count.
+    const std::uint64_t phase2 = w.counts(0).total();
     for (int pid = 0; pid < 2; ++pid) {
       w.spawn(pid, [&, pid](Context ctx) -> ProcessTask {
         outs[static_cast<std::size_t>(pid)] = co_await aa.output(ctx);
@@ -269,17 +271,18 @@ TEST(ApproxAgreement, ManyProcessesCrashAllButOne) {
   }
   sim::RoundRobinScheduler rr0;
   ASSERT_TRUE(w.run(rr0).all_done);
-  const std::uint64_t phase2 = w.global_step();
   for (int pid = 0; pid < n; ++pid) {
     w.spawn(pid, [&, pid](Context ctx) -> ProcessTask {
       outs[static_cast<std::size_t>(pid)] = co_await aa.output(ctx);
     });
   }
+  // Victim-keyed triggers: each offset is on top of that pid's own phase-1
+  // access count, so every crash lands partway through its phase-2 output.
   sim::RandomScheduler rnd(4242);
-  sim::CrashingScheduler sched(rnd, {{phase2 + 10, 0},
-                                     {phase2 + 12, 1},
-                                     {phase2 + 14, 2},
-                                     {phase2 + 16, 3}});
+  sim::CrashingScheduler sched(rnd, {{w.counts(0).total() + 10, 0},
+                                     {w.counts(1).total() + 12, 1},
+                                     {w.counts(2).total() + 14, 2},
+                                     {w.counts(3).total() + 16, 3}});
   const auto r = w.run(sched, 1'000'000);
   EXPECT_TRUE(r.all_done);
   EXPECT_FALSE(std::isnan(outs[n - 1]));

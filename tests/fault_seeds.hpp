@@ -1,0 +1,18 @@
+// Fixed seed list for the fault-injection campaigns. The nightly CI job and
+// the local stress suite both iterate exactly these base seeds, so a nightly
+// failure reproduces locally (and in a debugger) with no seed hunting. Add
+// seeds; do not remove them — history should stay replayable.
+#pragma once
+
+#include <cstdint>
+
+namespace apram::fault_seeds {
+
+inline constexpr std::uint64_t kCampaignBaseSeeds[] = {
+    0x5eed0001, 0x5eed0002, 0x5eed0003, 0x5eed0004, 0x5eed0005,
+};
+
+inline constexpr int kNumCampaignBaseSeeds =
+    static_cast<int>(sizeof(kCampaignBaseSeeds) / sizeof(std::uint64_t));
+
+}  // namespace apram::fault_seeds

@@ -141,6 +141,34 @@ TEST(Checker, WitnessIsAValidLinearization) {
   }
 }
 
+TEST(Checker, CheckIsIdempotent) {
+  // Regression: check() must be re-runnable — the memo and witness are
+  // cleared on entry, so a second call returns the same verdict and the
+  // same witness instead of reading stale state.
+  std::vector<RecordedOp<C>> h{
+      op(0, C::inc(1), 0, 0, 10),
+      op(1, C::read(), 1, 5, 6),
+  };
+  LinearizabilityChecker<C> checker(h);
+  ASSERT_TRUE(checker.check());
+  const std::vector<std::size_t> first = checker.witness();
+  ASSERT_TRUE(checker.check());
+  EXPECT_EQ(checker.witness(), first);
+}
+
+TEST(Checker, WitnessEmptyUnlessLastCheckSucceeded) {
+  std::vector<RecordedOp<C>> bad{
+      op(0, C::inc(1), 0, 0, 1),
+      op(0, C::read(), 7, 2, 3),  // impossible response
+  };
+  LinearizabilityChecker<C> checker(bad);
+  EXPECT_FALSE(checker.check());
+  EXPECT_TRUE(checker.witness().empty());
+  // And again: a repeated failing check stays failing with an empty witness.
+  EXPECT_FALSE(checker.check());
+  EXPECT_TRUE(checker.witness().empty());
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: recorded histories from the simulator check out.
 // ---------------------------------------------------------------------------
