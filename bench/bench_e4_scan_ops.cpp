@@ -25,11 +25,10 @@ struct Measured {
 };
 
 Measured measure_solo_scan(obs::Registry& registry, int n, ScanMode mode) {
-  sim::World w(n);
   const std::string prefix =
       "e4.n" + std::to_string(n) +
       (mode == ScanMode::kPlain ? ".plain" : ".optimized");
-  w.attach_metrics(registry, prefix);
+  sim::World w(n, {.metrics = &registry, .metrics_prefix = prefix});
   LatticeScanSim<MaxL> ls(w, n, "ls", mode);
   w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
     co_await ls.scan(ctx, 1);
@@ -74,8 +73,8 @@ int run(int argc, char** argv) {
       {"schedule", "pid", "reads", "writes"});
   for (std::uint64_t seed : {0ULL, 7ULL, 99ULL}) {
     const int n = 6;
-    sim::World w(n);
-    w.attach_metrics(bobs.registry(), "e4b.seed" + std::to_string(seed));
+    sim::World w(n, {.metrics = &bobs.registry(),
+                     .metrics_prefix = "e4b.seed" + std::to_string(seed)});
     LatticeScanSim<MaxL> ls(w, n, "ls");
     for (int pid = 0; pid < n; ++pid) {
       w.spawn(pid, [&ls, pid](sim::Context ctx) -> sim::ProcessTask {

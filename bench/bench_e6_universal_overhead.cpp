@@ -29,9 +29,10 @@ int run(int argc, char** argv) {
   for (int n : {1, 2, 4, 8, 16, 24}) {
     const char* names[] = {"inc", "dec", "reset", "read"};
     for (int which = 0; which < 4; ++which) {
-      sim::World w(n);
-      w.attach_metrics(bobs.registry(), "e6.n" + std::to_string(n) + "." +
-                                            names[which]);
+      sim::World w(n,
+                   {.metrics = &bobs.registry(),
+                    .metrics_prefix =
+                        "e6.n" + std::to_string(n) + "." + names[which]});
       CounterSim c(w, n);
       w.spawn(0, [&, which](sim::Context ctx) -> sim::ProcessTask {
         switch (which) {

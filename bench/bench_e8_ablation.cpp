@@ -30,8 +30,8 @@ int run(int argc, char** argv) {
            "read_writes"});
   for (int n : {2, 4, 8, 16}) {
     {
-      sim::World w(n);
-      w.attach_metrics(bobs.registry(), "e8a.n" + std::to_string(n) + ".uni");
+      sim::World w(n, {.metrics = &bobs.registry(),
+                       .metrics_prefix = "e8a.n" + std::to_string(n) + ".uni"});
       CounterSim c(w, n);
       w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
         co_await c.inc(ctx, 1);
@@ -50,8 +50,9 @@ int run(int argc, char** argv) {
           .add(rw.delta()).end_row();
     }
     {
-      sim::World w(n);
-      w.attach_metrics(bobs.registry(), "e8a.n" + std::to_string(n) + ".fast");
+      sim::World w(n,
+                   {.metrics = &bobs.registry(),
+                    .metrics_prefix = "e8a.n" + std::to_string(n) + ".fast"});
       FastCounterSim c(w, n);
       w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
         co_await c.inc(ctx, 1);
@@ -98,10 +99,11 @@ int run(int argc, char** argv) {
     std::vector<double> attempts;
     for (std::uint64_t seed = 0; seed < 10; ++seed) {
       const int n = 4;
-      sim::World w(n);
-      w.attach_metrics(bobs.registry(),
-                       "e8c.s" + std::to_string(static_cast<int>(sticky * 10)) +
-                           ".seed" + std::to_string(seed));
+      sim::World w(
+          n, {.metrics = &bobs.registry(),
+              .metrics_prefix = "e8c.s" +
+                                std::to_string(static_cast<int>(sticky * 10)) +
+                                ".seed" + std::to_string(seed)});
       DoubleCollectSnapshotSim<int> snap(w, n);
       w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
         for (int k = 0; k < 20; ++k) {

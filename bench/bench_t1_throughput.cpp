@@ -1,0 +1,183 @@
+// T1 — real-thread throughput: TreeScan vs the O(n²) lattice scan and the
+// snapshot baselines.
+//
+// Headline (the api-redesign acceptance criterion): the two LATTICE objects
+// compared over MaxLattice<int64> — TreeScanRT (update: O(log n) register
+// accesses with the double-refresh helping bound; scan: one root read)
+// against LatticeScanRT (write_l / read_max, each one §6.2 scan = O(n²)
+// accesses). Joins are branch-free max() with no allocation, so register
+// access complexity — the thing the tree changes — dominates the wall time.
+// Expectation at 8 threads, 90% update / 10% scan: ≥ 3× ops/sec.
+//
+// Context: the snapshot-object interface, where AtomicSnapshotRT's post()
+// makes updates O(1) and shifts all cost to scans; plus the double-collect
+// (obstruction-free), Afek et al. (helping), and mutex (blocking) baselines.
+// Reported separately because update cost asymmetry makes a single headline
+// number misleading there.
+//
+// Every cell becomes a gauge `t1.<impl>.t<threads>.mix<u>_<s>.ops_per_sec`
+// in the metrics artifact (--metrics_out, default BENCH_t1.json); the CI
+// smoke job runs with --ops_per_thread=500 and uploads the artifact.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rt/afek_snapshot_rt.hpp"
+#include "rt/double_collect_rt.hpp"
+#include "rt/lattice_scan_rt.hpp"
+#include "rt/thread_harness.hpp"
+#include "snapshot/baselines/mutex_snapshot.hpp"
+#include "snapshot/tree_scan.hpp"
+#include "util/rng.hpp"
+
+namespace apram::bench {
+namespace {
+
+using MaxL = MaxLattice<std::int64_t>;
+
+struct Mix {
+  int update_pct;
+  int scan_pct;
+  std::string tag() const {
+    return "mix" + std::to_string(update_pct) + "_" + std::to_string(scan_pct);
+  }
+};
+
+// Runs `ops_per_thread` ops per thread, each an update with probability
+// update_pct (deterministic per-thread Rng), and returns ops/sec.
+template <class Update, class Scan>
+double run_mix(int threads, std::uint64_t ops_per_thread, const Mix& mix,
+               const Update& update, const Scan& scan) {
+  rt::ThroughputRun tr(threads);
+  std::vector<Rng> rngs;
+  for (int p = 0; p < threads; ++p) {
+    rngs.emplace_back(0xbe9c0000 + static_cast<std::uint64_t>(p) * 977 +
+                      static_cast<std::uint64_t>(mix.update_pct));
+  }
+  std::vector<std::int64_t> next(static_cast<std::size_t>(threads), 0);
+  return tr.run_ops(ops_per_thread, [&](int pid) {
+    const auto up = static_cast<std::size_t>(pid);
+    if (rngs[up].below(100) < static_cast<std::uint64_t>(mix.update_pct)) {
+      update(pid, pid * 1'000'000'000LL + ++next[up]);
+    } else {
+      scan(pid);
+    }
+  });
+}
+
+std::string gauge_name(const std::string& impl, int threads, const Mix& mix) {
+  return "t1." + impl + ".t" + std::to_string(threads) + "." + mix.tag() +
+         ".ops_per_sec";
+}
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchObs bobs("bench_t1_throughput", flags);
+  // 500 in the CI smoke job; the committed BENCH_t1.json uses the default.
+  const auto ops_per_thread = static_cast<std::uint64_t>(
+      flags.get_int("ops_per_thread", 6000));
+  const int max_threads = static_cast<int>(flags.get_int("max_threads", 8));
+  flags.check_unused();
+
+  const std::vector<int> thread_counts = [&] {
+    std::vector<int> ts;
+    for (int t = 1; t <= max_threads; t *= 2) ts.push_back(t);
+    return ts;
+  }();
+  const Mix mixes[] = {{90, 10}, {50, 50}, {10, 90}};
+
+  // ---- headline: lattice objects, tree vs flat scan ----------------------
+  Table head("T1: lattice-object throughput, TreeScanRT vs LatticeScanRT "
+             "(MaxLattice<int64>, n = threads)",
+             {"threads", "mix(u/s)", "tree_ops_s", "flat_ops_s", "speedup"});
+  for (int t : thread_counts) {
+    for (const Mix& mix : mixes) {
+      snapshot::TreeScanRT<MaxL> tree(t);
+      const double tree_ops = run_mix(
+          t, ops_per_thread, mix,
+          [&](int p, std::int64_t v) { tree.update(p, v); },
+          [&](int p) { (void)tree.scan(p); });
+      rt::LatticeScanRT<MaxL> flat(t);
+      const double flat_ops = run_mix(
+          t, ops_per_thread, mix,
+          [&](int p, std::int64_t v) { flat.write_l(p, v); },
+          [&](int p) { (void)flat.read_max(p); });
+      const double speedup = flat_ops > 0.0 ? tree_ops / flat_ops : 0.0;
+      bobs.registry()
+          .gauge(gauge_name("tree", t, mix))
+          .set(static_cast<std::int64_t>(tree_ops));
+      bobs.registry()
+          .gauge(gauge_name("flat", t, mix))
+          .set(static_cast<std::int64_t>(flat_ops));
+      bobs.registry()
+          .gauge("t1.speedup_x100.t" + std::to_string(t) + "." + mix.tag())
+          .set(static_cast<std::int64_t>(speedup * 100.0));
+      head.add(t)
+          .add(std::to_string(mix.update_pct) + "/" +
+               std::to_string(mix.scan_pct))
+          .add(tree_ops, 0)
+          .add(flat_ops, 0)
+          .add(speedup, 2)
+          .end_row();
+    }
+  }
+  head.print(std::cout);
+  std::cout << "shape: tree updates touch 1 + 4..8·log2(n) registers vs the "
+               "flat object's O(n^2) scan per op; the gap widens with "
+               "threads and update share.\n\n";
+
+  // ---- context: snapshot objects at the largest thread count -------------
+  Table ctx("T1b: snapshot-object throughput (n = " +
+                std::to_string(max_threads) +
+                " threads; update cost asymmetry applies — see header)",
+            {"impl", "mix(u/s)", "ops_s"});
+  const int t = max_threads;
+  for (const Mix& mix : mixes) {
+    const auto row = [&](const std::string& impl, double ops) {
+      bobs.registry()
+          .gauge(gauge_name(impl, t, mix))
+          .set(static_cast<std::int64_t>(ops));
+      ctx.add(impl)
+          .add(std::to_string(mix.update_pct) + "/" +
+               std::to_string(mix.scan_pct))
+          .add(ops, 0)
+          .end_row();
+    };
+    const auto snap_mix = [&](auto& s) {
+      return run_mix(
+          t, ops_per_thread, mix,
+          [&](int p, std::int64_t v) { s.update(p, v); },
+          [&](int p) { (void)s.scan(p); });
+    };
+    {
+      snapshot::TreeSnapshotRT<std::int64_t> s(t);
+      row("tree_snap", snap_mix(s));
+    }
+    {
+      rt::AtomicSnapshotRT<std::int64_t> s(t);
+      row("aadgms_snap", snap_mix(s));
+    }
+    {
+      rt::DoubleCollectSnapshotRT<std::int64_t> s(t);
+      row("double_collect", snap_mix(s));
+    }
+    {
+      rt::AfekSnapshotRT<std::int64_t> s(t);
+      row("afek_snap", snap_mix(s));
+    }
+    {
+      rt::MutexSnapshot<std::int64_t> s(t);
+      row("mutex_snap", snap_mix(s));
+    }
+  }
+  ctx.print(std::cout);
+  bobs.emit();
+  std::cout << "\nT1 done.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace apram::bench
+
+int main(int argc, char** argv) { return apram::bench::run(argc, argv); }

@@ -1,0 +1,190 @@
+// RtBackend — real threads as a register backend.
+//
+// The inverse of SimBackend: awaiters never suspend. Each Ctx accessor
+// performs the register operation inline (the hardware, not a Scheduler,
+// interleaves processes) and hands the result to an always-ready awaiter, so
+// an algorithm coroutine instantiated with this backend runs synchronously
+// to completion — EagerCoro (see api/eager_coro.hpp) is built around exactly
+// that guarantee, and rt convenience wrappers drain it with .get().
+//
+// Mem owns the registers (type-erased holders keep names and creation-order
+// object ids) and is the single attach point for observability and fault
+// injection: attach_obs() instruments every register created SO FAR with
+// aggregate counters "rt.<name>.reads" / ".writes" / ".cas" plus optional
+// trace events, mirroring the sim World's attach_metrics shape; a CAS is
+// counted separately in ".cas" (one atomic step — add it to ".writes" when
+// comparing against sim StepCounts, where a CAS counts as one write).
+// Attach after construction, before concurrent use.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/backend.hpp"
+#include "api/eager_coro.hpp"
+#include "fault/rt_inject.hpp"
+#include "obs/metrics.hpp"
+#include "obs/rt_probe.hpp"
+#include "obs/trace.hpp"
+#include "rt/register.hpp"
+#include "util/assert.hpp"
+
+namespace apram::api {
+
+namespace detail {
+
+template <class T>
+struct ReadyAwaiter {
+  T value;
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  T await_resume() { return std::move(value); }
+};
+
+struct ReadyVoidAwaiter {
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+struct RtBackend {
+  template <class T>
+  using Reg = rt::SWMRRegister<T>;
+  template <class T>
+  using CasReg = rt::CASValueRegister<T>;
+  template <class T>
+  using Coro = EagerCoro<T>;
+
+  class Ctx {
+   public:
+    explicit Ctx(int pid) : pid_(pid) {}
+
+    int pid() const { return pid_; }
+
+    template <class T>
+    auto read(const rt::SWMRRegister<T>& reg) const {
+      return detail::ReadyAwaiter<T>{reg.read()};
+    }
+
+    template <class T>
+    auto read(const rt::CASValueRegister<T>& reg) const {
+      return detail::ReadyAwaiter<T>{reg.read()};
+    }
+
+    // Single-writer discipline is by convention here (the sim backend
+    // enforces it and aborts; running the same algorithm there first is the
+    // cheap way to check).
+    template <class T>
+    auto write(rt::SWMRRegister<T>& reg, T value) const {
+      reg.write(std::move(value));
+      return detail::ReadyVoidAwaiter{};
+    }
+
+    template <class T>
+    auto cas(rt::CASValueRegister<T>& reg, T expected, T desired) const {
+      const bool ok =
+          reg.compare_exchange(pid_, expected, std::move(desired));
+      return detail::ReadyAwaiter<bool>{ok};
+    }
+
+   private:
+    int pid_;
+  };
+
+  class Mem {
+   public:
+    explicit Mem(int num_procs) : num_procs_(num_procs) {
+      APRAM_CHECK(num_procs >= 1);
+    }
+
+    int num_procs() const { return num_procs_; }
+
+    template <class T>
+    Reg<T>& make(const std::string& name, T initial, int /*writer*/ = -1) {
+      auto h = std::make_unique<Holder<Reg<T>>>(name, std::move(initial));
+      Reg<T>& reg = h->reg;
+      holders_.push_back(std::move(h));
+      return reg;
+    }
+
+    template <class T>
+    CasReg<T>& make_cas(const std::string& name, T initial) {
+      auto h = std::make_unique<Holder<CasReg<T>>>(name, num_procs_,
+                                                   std::move(initial));
+      CasReg<T>& reg = h->reg;
+      holders_.push_back(std::move(h));
+      return reg;
+    }
+
+    // Instruments every register created so far: aggregate counters
+    // "rt.<name>.reads" / ".writes" / ".cas" in `registry`, plus per-access
+    // trace events (object id = creation order) when `tracer` is non-null.
+    // Attach before concurrent use; registry/tracer must outlive this Mem.
+    void attach_obs(obs::Registry& registry, const std::string& name,
+                    obs::Tracer* tracer = nullptr) {
+      obs::Counter* reads = &registry.counter("rt." + name + ".reads");
+      obs::Counter* writes = &registry.counter("rt." + name + ".writes");
+      obs::Counter* cas = &registry.counter("rt." + name + ".cas");
+      for (std::size_t i = 0; i < holders_.size(); ++i) {
+        HolderBase& h = *holders_[i];
+        h.probe.reads = reads;
+        h.probe.writes = writes;
+        h.probe.cas_ops = cas;
+        h.probe.tracer = tracer;
+        h.probe.object = static_cast<std::int32_t>(i);
+        h.attach_probe(&h.probe);
+      }
+    }
+
+    // Attaches a fault injector to every register created so far (see
+    // fault/rt_inject.hpp); nullptr detaches. Attach before concurrent use.
+    void attach_injector(fault::RtInjector* injector) {
+      for (auto& h : holders_) h->attach_injector(injector);
+    }
+
+    std::size_t num_registers() const { return holders_.size(); }
+    const std::string& register_name(std::size_t i) const {
+      return holders_[i]->name;
+    }
+
+   private:
+    struct HolderBase {
+      explicit HolderBase(std::string n) : name(std::move(n)) {}
+      virtual ~HolderBase() = default;
+      virtual void attach_probe(const obs::RtProbe* p) = 0;
+      virtual void attach_injector(fault::RtInjector* inj) = 0;
+
+      std::string name;
+      obs::RtProbe probe;  // configured by attach_obs
+    };
+
+    template <class R>
+    struct Holder final : HolderBase {
+      template <class... Args>
+      explicit Holder(std::string n, Args&&... args)
+          : HolderBase(std::move(n)), reg(std::forward<Args>(args)...) {}
+      void attach_probe(const obs::RtProbe* p) override {
+        reg.attach_probe(p);
+      }
+      void attach_injector(fault::RtInjector* inj) override {
+        reg.attach_injector(inj);
+      }
+
+      R reg;
+    };
+
+    int num_procs_;
+    std::vector<std::unique_ptr<HolderBase>> holders_;
+  };
+};
+
+static_assert(CasBackendFor<RtBackend, int>);
+
+}  // namespace apram::api

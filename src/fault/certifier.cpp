@@ -51,7 +51,7 @@ void run_one(const sim::ExecutionFactory& factory, const Judge& judge,
   obs::Registry registry(/*num_shards=*/1);
   std::unique_ptr<sim::Execution> exec = factory();
   sim::World& w = exec->world();
-  w.attach_metrics(registry, "cert");
+  w.apply_options({.metrics = &registry, .metrics_prefix = "cert"});
 
   const FaultPlan plan = random_plan(rng, w.num_procs(), opts.plan);
 

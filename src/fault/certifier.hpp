@@ -27,16 +27,16 @@
 #include <vector>
 
 #include "fault/nemesis.hpp"
+#include "obs/metrics.hpp"
 #include "sim/replay.hpp"
 
 namespace apram::fault {
 
 // Per-pid bound on an execution's accesses, checked against the obs
-// counters the certifier attaches (`cert.reads.p<pid>` etc.).
-struct StepBound {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-};
+// counters the certifier attaches (`cert.reads.p<pid>` etc.). The canonical
+// reads/writes triple lives in obs (see obs::AccessCounts); this is the
+// historical name for it.
+using StepBound = obs::AccessCounts;
 
 // Inspects a finished campaign execution; returns "" when the property
 // holds, else a one-line description of the violation.

@@ -220,4 +220,36 @@ class CounterDelta {
   std::uint64_t before_;
 };
 
+// The canonical reads/writes/total triple. Every layer that accounts for
+// shared-memory accesses speaks this one type: the simulator's per-process
+// step counters (`sim::StepCounts` is an alias), the fault certifier's
+// per-pid bounds (`fault::StepBound` is an alias), and AccessDelta regions
+// below. A compare-and-swap counts as one write: it is one atomic step of
+// the extended model, and folding it into `writes` keeps the paper's
+// reads/writes bookkeeping intact for algorithms that never CAS.
+struct AccessCounts {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t total() const { return reads + writes; }
+};
+
+// CounterDelta over a reads/writes counter pair, yielding AccessCounts.
+// The standard way to measure one operation's step cost against metrics a
+// World or rt Mem attached (see World::access_delta).
+class AccessDelta {
+ public:
+  AccessDelta(const Counter& reads, const Counter& writes)
+      : reads_(reads), writes_(writes) {}
+
+  AccessCounts delta() const { return {reads_.delta(), writes_.delta()}; }
+  void reset() {
+    reads_.reset();
+    writes_.reset();
+  }
+
+ private:
+  CounterDelta reads_;
+  CounterDelta writes_;
+};
+
 }  // namespace apram::obs

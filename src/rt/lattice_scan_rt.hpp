@@ -1,18 +1,22 @@
-// Real-thread implementation of the Figure 5 lattice scan and the snapshot
-// object built on it — the same algorithms as snapshot/lattice_scan.hpp and
-// snapshot/atomic_snapshot.hpp, on std::atomic-backed registers instead of
-// simulated ones. Thread p may call only the p-indexed entry points (the
-// single-writer discipline of the model).
+// DEPRECATED ALIAS HEADER. The Figure 5 lattice scan is implemented once in
+// snapshot/lattice_scan.hpp as apram::snapshot::LatticeScan<Backend, L>;
+// this header keeps the historical rt class names alive as thin wrappers
+// that instantiate it with apram::api::RtBackend and expose the old int-pid
+// call style. New code should hold an api::RtBackend::Mem and the backend-
+// templated class directly. Thread p may call only the p-indexed entry
+// points (the single-writer discipline of the model).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "api/rt_backend.hpp"
 #include "lattice/lattice.hpp"
-#include "rt/register.hpp"
-#include "snapshot/lattice_scan.hpp"  // ScanMode
+#include "snapshot/lattice_scan.hpp"
 
 namespace apram::rt {
 
@@ -22,120 +26,47 @@ class LatticeScanRT {
   using Value = typename L::Value;
 
   explicit LatticeScanRT(int num_procs, ScanMode mode = ScanMode::kOptimized)
-      : n_(num_procs), mode_(mode) {
-    APRAM_CHECK(num_procs >= 1);
-    regs_.resize(static_cast<std::size_t>(n_));
-    for (auto& row : regs_) {
-      for (int i = 0; i <= n_ + 1; ++i) {
-        row.push_back(std::make_unique<SWMRRegister<Value>>(L::bottom()));
-      }
-    }
-    caches_.reserve(static_cast<std::size_t>(n_));
-    for (int p = 0; p < n_; ++p) {
-      caches_.push_back(std::make_unique<Cache>());
-      caches_.back()->row.assign(static_cast<std::size_t>(n_) + 2,
-                                 L::bottom());
-    }
-  }
+      : mem_(num_procs), impl_(mem_, num_procs, mode) {}
 
-  int num_procs() const { return n_; }
+  int num_procs() const { return impl_.num_procs(); }
 
   // Figure 5; callable only by thread p.
   Value scan(int p, Value v) {
-    auto& cache = caches_[static_cast<std::size_t>(p)]->row;
-
-    Value acc0 = std::move(v);
-    if (mode_ == ScanMode::kPlain) {
-      acc0 = L::join(std::move(acc0), reg(p, 0).read());
-    } else {
-      acc0 = L::join(std::move(acc0), cache[0]);
-    }
-    cache[0] = acc0;
-    reg(p, 0).write(std::move(acc0));
-
-    for (int i = 1; i <= n_ + 1; ++i) {
-      Value acc = cache[static_cast<std::size_t>(i)];
-      for (int q = 0; q < n_; ++q) {
-        if (q == p && mode_ == ScanMode::kOptimized) {
-          acc = L::join(std::move(acc), cache[static_cast<std::size_t>(i - 1)]);
-        } else {
-          acc = L::join(std::move(acc), reg(q, i - 1).read());
-        }
-      }
-      cache[static_cast<std::size_t>(i)] = acc;
-      if (i <= n_ || mode_ == ScanMode::kPlain) {
-        reg(p, i).write(std::move(acc));
-      }
-    }
-    return cache[static_cast<std::size_t>(n_) + 1];
+    return impl_.scan(api::RtBackend::Ctx{p}, std::move(v)).get();
   }
 
-  void write_l(int p, Value v) { (void)scan(p, std::move(v)); }
+  void write_l(int p, Value v) {
+    impl_.write_l(api::RtBackend::Ctx{p}, std::move(v)).get();
+  }
 
-  Value read_max(int p) { return scan(p, L::bottom()); }
+  Value read_max(int p) {
+    return impl_.read_max(api::RtBackend::Ctx{p}).get();
+  }
+
+  // One-write contribution (snapshot update path).
+  void post(int p, Value v) {
+    impl_.post(api::RtBackend::Ctx{p}, std::move(v)).get();
+  }
 
   // Instruments every register of the scan matrix: aggregate counters
-  // `rt.<name>.reads` / `rt.<name>.writes` in `registry`, plus per-access
-  // trace events (object id = p*(n+2)+i) when `tracer` is non-null. Attach
-  // before concurrent use; registry/tracer must outlive this object.
+  // `rt.<name>.reads` / `rt.<name>.writes` (and `.cas`, unused here) in
+  // `registry`, plus per-access trace events (object id = p*(n+2)+i) when
+  // `tracer` is non-null. Attach before concurrent use; registry/tracer must
+  // outlive this object.
   void attach_obs(obs::Registry& registry, const std::string& name,
                   obs::Tracer* tracer = nullptr) {
-    obs::Counter* reads = &registry.counter("rt." + name + ".reads");
-    obs::Counter* writes = &registry.counter("rt." + name + ".writes");
-    probes_.clear();
-    probes_.reserve(static_cast<std::size_t>(n_) *
-                    (static_cast<std::size_t>(n_) + 2));
-    for (int p = 0; p < n_; ++p) {
-      for (int i = 0; i <= n_ + 1; ++i) {
-        auto probe = std::make_unique<obs::RtProbe>();
-        probe->reads = reads;
-        probe->writes = writes;
-        probe->tracer = tracer;
-        probe->object = p * (n_ + 2) + i;
-        reg(p, i).attach_probe(probe.get());
-        probes_.push_back(std::move(probe));
-      }
-    }
+    mem_.attach_obs(registry, name, tracer);
   }
 
   // Attaches a fault injector to every register of the scan matrix (see
   // fault/rt_inject.hpp); nullptr detaches. Attach before concurrent use.
   void attach_injector(fault::RtInjector* injector) {
-    for (int p = 0; p < n_; ++p) {
-      for (int i = 0; i <= n_ + 1; ++i) {
-        reg(p, i).attach_injector(injector);
-      }
-    }
-  }
-
-  // One-write contribution (snapshot update path).
-  void post(int p, Value v) {
-    auto& cache = caches_[static_cast<std::size_t>(p)]->row;
-    Value acc = std::move(v);
-    if (mode_ == ScanMode::kPlain) {
-      acc = L::join(std::move(acc), reg(p, 0).read());
-    } else {
-      acc = L::join(std::move(acc), cache[0]);
-    }
-    cache[0] = acc;
-    reg(p, 0).write(std::move(acc));
+    mem_.attach_injector(injector);
   }
 
  private:
-  // Each thread's cache row lives on its own cache lines.
-  struct alignas(64) Cache {
-    std::vector<Value> row;
-  };
-
-  SWMRRegister<Value>& reg(int p, int i) {
-    return *regs_[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
-  }
-
-  int n_;
-  ScanMode mode_;
-  std::vector<std::vector<std::unique_ptr<SWMRRegister<Value>>>> regs_;
-  std::vector<std::unique_ptr<Cache>> caches_;
-  std::vector<std::unique_ptr<obs::RtProbe>> probes_;
+  api::RtBackend::Mem mem_;
+  snapshot::LatticeScan<api::RtBackend, L> impl_;
 };
 
 // Snapshot object on the tagged-vector lattice (end of §6), rt flavour.

@@ -27,8 +27,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <deque>
 #include <utility>
+#include <vector>
 
 #include "fault/rt_inject.hpp"
 #include "obs/rt_probe.hpp"
@@ -156,6 +158,98 @@ class CASRegister {
 
  private:
   std::atomic<T> v_;
+  std::atomic<const obs::RtProbe*> probe_{nullptr};
+  std::atomic<fault::RtInjector*> injector_{nullptr};
+};
+
+// Multi-writer register with compare-and-swap over arbitrarily large values
+// — CASRegister without the trivially-copyable restriction. Same
+// immutable-node publication trick as SWMRRegister, with one grow-only node
+// store per writer (writer `pid` appends only to store `pid`, so no store is
+// ever touched by two threads) and the swap done on the publication pointer.
+//
+// compare_exchange compares the CURRENT VALUE with T's operator==, not the
+// pointer — but succeeds via a pointer CAS. That is sound exactly when
+// operator== identifies distinct writes (distinct published values never
+// compare equal): then value-equality pins the pointer, published nodes are
+// never recycled, and the pointer CAS cannot ABA. Stamped<T> in
+// snapshot/tree_scan.hpp is the standard recipe. Nodes from failed swaps
+// stay in their writer's store — the unbounded-register assumption again;
+// versions() reports the total for space diagnostics.
+template <class T>
+class CASValueRegister {
+ public:
+  CASValueRegister(int num_writers, T initial)
+      : initial_(std::move(initial)),
+        stores_(static_cast<std::size_t>(num_writers)) {
+    APRAM_CHECK(num_writers >= 1);
+    current_.store(&initial_, std::memory_order_release);
+  }
+
+  CASValueRegister(const CASValueRegister&) = delete;
+  CASValueRegister& operator=(const CASValueRegister&) = delete;
+
+  // Any thread. Wait-free: one acquire load. The reference stays valid for
+  // the register's lifetime.
+  const T& read() const {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
+    const T& v = *current_.load(std::memory_order_acquire);
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_read();
+    }
+    return v;
+  }
+
+  // One atomic step by thread `pid`: if the current value equals `expected`
+  // (T's operator==), install `desired` and return true. Wait-free — a
+  // failed pointer CAS is a failed operation, never a retry loop.
+  bool compare_exchange(int pid, const T& expected, T desired) {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
+    const T* cur = current_.load(std::memory_order_acquire);
+    bool ok = *cur == expected;
+    if (ok) {
+      std::deque<T>& store =
+          stores_[static_cast<std::size_t>(pid)].nodes;
+      store.push_back(std::move(desired));
+      ok = current_.compare_exchange_strong(cur, &store.back(),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire);
+    }
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_cas(ok);
+    }
+    return ok;
+  }
+
+  // Space diagnostics: values ever prepared (incl. the initial; counts nodes
+  // from failed swaps too).
+  std::size_t versions() const {
+    std::size_t total = 1;
+    for (const Store& s : stores_) total += s.nodes.size();
+    return total;
+  }
+
+  void attach_probe(const obs::RtProbe* probe) {
+    probe_.store(probe, std::memory_order_release);
+  }
+
+  void attach_injector(fault::RtInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+ private:
+  // Per-writer stores live on their own cache lines.
+  struct alignas(64) Store {
+    std::deque<T> nodes;
+  };
+
+  T initial_;
+  std::vector<Store> stores_;
+  std::atomic<const T*> current_;
   std::atomic<const obs::RtProbe*> probe_{nullptr};
   std::atomic<fault::RtInjector*> injector_{nullptr};
 };

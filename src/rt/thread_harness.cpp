@@ -130,6 +130,20 @@ double ThroughputRun::run(std::chrono::milliseconds window,
   return static_cast<double>(total) / elapsed;
 }
 
+double ThroughputRun::run_ops(std::uint64_t ops_per_thread,
+                              const std::function<void(int)>& body) {
+  ops_.assign(static_cast<std::size_t>(n_), ops_per_thread);
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_run(n_, [&](int pid) {
+    for (std::uint64_t i = 0; i < ops_per_thread; ++i) body(pid);
+  });
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  return static_cast<double>(ops_per_thread) * static_cast<double>(n_) /
+         elapsed;
+}
+
 void ThroughputRun::export_metrics(obs::Registry& registry,
                                    const std::string& prefix) const {
   std::uint64_t total = 0;

@@ -53,6 +53,15 @@ class ThroughputRun {
   double run(std::chrono::milliseconds window,
              const std::function<void(int)>& body);
 
+  // Count-based variant: every thread performs exactly `ops_per_thread`
+  // operations. Use this for structures whose memory grows per operation
+  // (the unbounded-register rt implementations) — a time window at an
+  // unknown op rate gives unbounded allocation, a count gives a bound known
+  // up front. Returns total ops/sec over the wall time of the slowest
+  // thread.
+  double run_ops(std::uint64_t ops_per_thread,
+                 const std::function<void(int)>& body);
+
   const std::vector<std::uint64_t>& ops_per_thread() const { return ops_; }
 
   // Publishes the last run's per-thread op counts as gauges

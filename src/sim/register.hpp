@@ -79,6 +79,13 @@ class Context {
   template <class T>
   auto write(Register<T>& reg, T value) const;
 
+  // Atomic compare-and-swap: one step of the extended model (counted as one
+  // write; traced as obs::EventKind::kCas). The comparison uses T's
+  // operator==, which must identify distinct writes for ABA-freedom — see
+  // snapshot/tree_scan.hpp's Stamped<T> for the standard recipe.
+  template <class T>
+  auto cas(Register<T>& reg, T expected, T desired) const;
+
  private:
   World* world_ = nullptr;
   int pid_ = -1;

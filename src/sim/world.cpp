@@ -4,9 +4,24 @@
 
 namespace apram::sim {
 
-World::World(int num_procs) {
+World::World(int num_procs) : World(num_procs, Options{}) {}
+
+World::World(int num_procs, const Options& options) {
   APRAM_CHECK(num_procs > 0);
   procs_.resize(static_cast<std::size_t>(num_procs));
+  apply_options(options);
+}
+
+void World::apply_options(const Options& options) {
+  if (options.trace) trace_enabled_ = true;
+  if (options.metrics != nullptr) {
+    attach_metrics_impl(*options.metrics, options.metrics_prefix);
+  }
+  if (options.tracer != nullptr) set_tracer_impl(options.tracer);
+  default_max_steps_ = options.max_steps;
+  for (const CrashPoint& c : options.crashes) {
+    schedule_crash(c.pid, c.at_access);
+  }
 }
 
 World::~World() = default;
@@ -71,8 +86,8 @@ void World::maybe_fire_scheduled_crash(int pid) {
   if (p.counts.total() >= p.crash_at) crash(pid);
 }
 
-void World::attach_metrics(obs::Registry& registry,
-                           const std::string& prefix) {
+void World::attach_metrics_impl(obs::Registry& registry,
+                                const std::string& prefix) {
   obs_reads_total_ = &registry.counter(prefix + ".reads");
   obs_writes_total_ = &registry.counter(prefix + ".writes");
   obs_reads_.assign(procs_.size(), nullptr);
@@ -93,7 +108,7 @@ void World::detach_metrics() {
   obs_writes_.clear();
 }
 
-void World::set_tracer(obs::Tracer* tracer) {
+void World::set_tracer_impl(obs::Tracer* tracer) {
   APRAM_CHECK_MSG(tracer == nullptr || tracer->num_rings() >= num_procs(),
                   "tracer needs one ring per process");
   tracer_ = tracer;
@@ -132,6 +147,24 @@ void World::count_access(int pid, int register_id, bool is_write) {
   ++global_step_;
 }
 
+void World::count_cas(int pid, int register_id, bool success) {
+  Proc& p = proc(pid);
+  ++p.counts.writes;
+  if (obs_writes_total_ != nullptr) {
+    obs_writes_total_->add_shard(0, 1);
+    obs_writes_[static_cast<std::size_t>(pid)]->add_shard(0, 1);
+  }
+  if (trace_enabled_) {
+    trace_.push_back(
+        AccessEvent{global_step_, pid, register_id, /*is_write=*/true});
+  }
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::TraceEvent{global_step_, pid, obs::EventKind::kCas,
+                                  register_id, success ? 1u : 0u});
+  }
+  ++global_step_;
+}
+
 bool World::step(int pid) {
   Proc& p = proc(pid);
   APRAM_CHECK_MSG(p.task.valid(), "stepping an unspawned process");
@@ -152,6 +185,7 @@ bool World::step(int pid) {
 }
 
 RunResult World::run(Scheduler& sched, std::uint64_t max_steps) {
+  if (max_steps == kUseOptions) max_steps = default_max_steps_;
   RunResult result;
   while (!all_done()) {
     APRAM_CHECK_MSG(result.steps_taken < max_steps,
@@ -181,6 +215,7 @@ RunResult World::run_steps(Scheduler& sched, std::uint64_t steps) {
 }
 
 RunResult World::run_solo(int pid, std::uint64_t max_steps) {
+  if (max_steps == kUseOptions) max_steps = default_max_steps_;
   RunResult result;
   while (runnable(pid)) {
     APRAM_CHECK_MSG(result.steps_taken < max_steps,

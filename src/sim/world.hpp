@@ -39,12 +39,9 @@ struct AccessEvent {
   bool is_write;
 };
 
-// Per-process step counters.
-struct StepCounts {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  std::uint64_t total() const { return reads + writes; }
-};
+// Per-process step counters — the canonical obs reads/writes/total triple
+// (kept under the historical name; see obs::AccessCounts).
+using StepCounts = obs::AccessCounts;
 
 // Outcome of World::run.
 struct RunResult {
@@ -54,7 +51,32 @@ struct RunResult {
 
 class World {
  public:
+  // Default grant budget of run()/run_solo(); the kUseOptions sentinel makes
+  // those calls fall back to Options::max_steps.
+  static constexpr std::uint64_t kDefaultMaxSteps = 100'000'000;
+  static constexpr std::uint64_t kUseOptions = 0;
+
+  // Construction-time configuration. One struct instead of a pile of
+  // setters: everything here is fixed before the first step, which is also
+  // what determinism wants (a trace/metrics sink attached mid-run splits an
+  // execution into differently-instrumented halves).
+  struct CrashPoint {
+    int pid = 0;
+    std::uint64_t at_access = 0;  // see schedule_crash
+  };
+  struct Options {
+    bool trace = false;               // record the AccessEvent trace
+    obs::Registry* metrics = nullptr; // mirror accesses into this registry
+    std::string metrics_prefix = "sim";
+    obs::Tracer* tracer = nullptr;    // per-step obs events (ring per pid)
+    // Default grant budget for run()/run_solo() calls that do not pass an
+    // explicit budget. Wait-free code exceeding it is a genuine bug.
+    std::uint64_t max_steps = kDefaultMaxSteps;
+    std::vector<CrashPoint> crashes;  // victim-keyed crash schedule
+  };
+
   explicit World(int num_procs);
+  World(int num_procs, const Options& options);
   ~World();
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -126,8 +148,9 @@ class World {
   // the scheduler declines (pick() < 0), or `max_steps` grants have been
   // made. Exceeding max_steps with unfinished processes aborts: for the
   // wait-free algorithms in this library that is a genuine bug, so tests set
-  // max_steps to the theoretical bound plus slack.
-  RunResult run(Scheduler& sched, std::uint64_t max_steps = kDefaultMaxSteps);
+  // max_steps to the theoretical bound plus slack. Passing kUseOptions (0)
+  // uses the budget from Options::max_steps.
+  RunResult run(Scheduler& sched, std::uint64_t max_steps = kUseOptions);
 
   // Takes at most `steps` grants and then returns normally — for partial
   // executions (schedule recording, bounded exploration). Unlike run(),
@@ -136,9 +159,7 @@ class World {
 
   // Convenience: run only `pid` until it completes (the "solo execution"
   // used to define preferences in Lemma 6).
-  RunResult run_solo(int pid, std::uint64_t max_steps = kDefaultMaxSteps);
-
-  static constexpr std::uint64_t kDefaultMaxSteps = 100'000'000;
+  RunResult run_solo(int pid, std::uint64_t max_steps = kUseOptions);
 
   // --- Accounting ----------------------------------------------------------
 
@@ -146,24 +167,50 @@ class World {
   StepCounts total_counts() const;
   std::uint64_t global_step() const { return global_step_; }
 
-  void set_trace(bool on) { trace_enabled_ = on; }
   const std::vector<AccessEvent>& trace() const { return trace_; }
 
   // --- Observability (apram::obs) ------------------------------------------
 
-  // Mirrors every access into per-pid counters `<prefix>.reads.p<pid>` /
-  // `<prefix>.writes.p<pid>` plus the totals `<prefix>.reads` and
-  // `<prefix>.writes` of `registry`. Only accesses made after attachment are
-  // counted. The registry must outlive the World (or a detach_metrics call).
-  void attach_metrics(obs::Registry& registry,
-                      const std::string& prefix = "sim");
-  void detach_metrics();
+  // Applies Options to an already-built World. For infrastructure that
+  // receives a World it did not construct (the fault certifier, replay
+  // drivers); everything else should pass Options to the constructor.
+  // Only non-default fields take effect: `trace` enables (never disables)
+  // the access trace, `metrics`/`tracer` attach when non-null, and every
+  // entry of `crashes` is scheduled. `max_steps` replaces the run budget.
+  //
+  // Metrics attachment mirrors every subsequent access into per-pid counters
+  // `<prefix>.reads.p<pid>` / `<prefix>.writes.p<pid>` plus the totals
+  // `<prefix>.reads` and `<prefix>.writes`; the registry must outlive the
+  // World (or a detach_metrics call). A tracer gets one obs event per atomic
+  // step (kRead/kWrite/kCas with the register id at the current global step)
+  // plus kSpawn/kDone/kCrash lifecycle events, and needs a ring per process.
+  void apply_options(const Options& options);
 
-  // Emits one obs event per atomic step (kRead/kWrite with the register id
-  // at the current global step) plus kSpawn/kDone/kCrash lifecycle events.
-  // The tracer needs a ring per process and must outlive the World.
-  void set_tracer(obs::Tracer* tracer);
+  [[deprecated("pass World::Options{.trace = true} at construction")]]
+  void set_trace(bool on) {
+    trace_enabled_ = on;
+  }
+  [[deprecated("pass World::Options{.metrics = &registry} at construction, "
+               "or apply_options for a World you did not build")]]
+  void attach_metrics(obs::Registry& registry,
+                      const std::string& prefix = "sim") {
+    attach_metrics_impl(registry, prefix);
+  }
+  [[deprecated("pass World::Options{.tracer = &tracer} at construction, or "
+               "apply_options for a World you did not build")]]
+  void set_tracer(obs::Tracer* tracer) {
+    set_tracer_impl(tracer);
+  }
+
+  void detach_metrics();
   obs::Tracer* tracer() const { return tracer_; }
+
+  // The attached reads/writes counter pair for `pid`, as a region-delta
+  // handle: `auto d = w.access_delta(0); ...; d.delta().reads`. Aborts
+  // unless metrics are attached.
+  obs::AccessDelta access_delta(int pid) const {
+    return obs::AccessDelta(metrics_reads(pid), metrics_writes(pid));
+  }
 
   // Attached per-pid counters, for obs::CounterDelta-style region
   // measurement. Aborts unless attach_metrics was called.
@@ -184,6 +231,11 @@ class World {
   friend struct ReadAwaiter;
   template <class T>
   friend struct WriteAwaiter;
+  template <class T>
+  friend struct CasAwaiter;
+
+  void attach_metrics_impl(obs::Registry& registry, const std::string& prefix);
+  void set_tracer_impl(obs::Tracer* tracer);
 
   static constexpr std::uint64_t kNoScheduledCrash =
       ~static_cast<std::uint64_t>(0);
@@ -212,6 +264,9 @@ class World {
     proc(pid).resume_point = h;
   }
   void count_access(int pid, int register_id, bool is_write);
+  // A CAS is one atomic step, counted as one write (see obs::AccessCounts);
+  // the trace records it as kCas with arg = success.
+  void count_cas(int pid, int register_id, bool success);
   void check_write_allowed(int pid, const RegisterBase& reg) {
     APRAM_CHECK_MSG(
         reg.writer() == kAnyWriter || reg.writer() == pid,
@@ -224,6 +279,7 @@ class World {
   std::vector<Proc> procs_;
   std::vector<std::unique_ptr<RegisterBase>> registers_;
   std::uint64_t global_step_ = 0;
+  std::uint64_t default_max_steps_ = kDefaultMaxSteps;
   bool trace_enabled_ = false;
   std::vector<AccessEvent> trace_;
 
@@ -279,6 +335,30 @@ struct WriteAwaiter {
   }
 };
 
+// Compare-and-swap: at the granted step, atomically compare the register's
+// value to `expected` (T's operator==) and install `desired` on a match.
+// Returns whether the swap happened.
+template <class T>
+struct CasAwaiter {
+  World* world;
+  int pid;
+  Register<T>* reg;
+  T expected;
+  T desired;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    world->note_suspend(pid, h);
+  }
+  bool await_resume() {
+    world->check_write_allowed(pid, *reg);
+    const bool ok = reg->peek() == expected;
+    world->count_cas(pid, reg->id(), ok);
+    if (ok) reg->poke(std::move(desired));
+    return ok;
+  }
+};
+
 template <class T>
 auto Context::read(const Register<T>& reg) const {
   APRAM_CHECK(world_ != nullptr);
@@ -289,6 +369,13 @@ template <class T>
 auto Context::write(Register<T>& reg, T value) const {
   APRAM_CHECK(world_ != nullptr);
   return WriteAwaiter<T>{world_, pid_, &reg, std::move(value)};
+}
+
+template <class T>
+auto Context::cas(Register<T>& reg, T expected, T desired) const {
+  APRAM_CHECK(world_ != nullptr);
+  return CasAwaiter<T>{world_, pid_, &reg, std::move(expected),
+                       std::move(desired)};
 }
 
 }  // namespace apram::sim

@@ -1,4 +1,7 @@
-// The atomic scan of Section 6 (Figure 5), over an arbitrary ∨-semilattice.
+// The atomic scan of Section 6 (Figure 5), over an arbitrary ∨-semilattice —
+// written ONCE against the apram::api register-backend concept and
+// instantiated both in the simulator (apram::LatticeScanSim below) and on
+// real threads (apram::rt::LatticeScanRT in rt/lattice_scan_rt.hpp).
 //
 // Processes share an n×(n+2) matrix `scan[1..n][0..n+1]` of single-writer
 // multi-reader registers holding lattice values; process P writes only row P.
@@ -24,10 +27,13 @@
 // each register has a single writer, so the owner always knows its contents.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "api/backend.hpp"
+#include "api/sim_backend.hpp"
 #include "lattice/lattice.hpp"
 #include "sim/world.hpp"
 
@@ -38,30 +44,39 @@ enum class ScanMode {
   kOptimized,  // §6.2: skip self-reads and the final write
 };
 
-template <Semilattice L>
-class LatticeScanSim {
+namespace snapshot {
+
+template <class B, Semilattice L>
+  requires api::BackendFor<B, typename L::Value>
+class LatticeScan {
  public:
   using Value = typename L::Value;
+  using Ctx = typename B::Ctx;
+  template <class T>
+  using Coro = typename B::template Coro<T>;
 
-  // Creates the scan matrix in `world` for `num_procs` processes. All
+  // Creates the scan matrix in `mem` for `num_procs` processes. All
   // registers are single-writer: row P is writable only by pid P.
-  LatticeScanSim(sim::World& world, int num_procs, const std::string& name,
-                 ScanMode mode = ScanMode::kOptimized)
+  LatticeScan(typename B::Mem& mem, int num_procs,
+              ScanMode mode = ScanMode::kOptimized)
       : n_(num_procs), mode_(mode) {
     APRAM_CHECK(num_procs >= 1);
     regs_.resize(static_cast<std::size_t>(n_));
-    cache_.assign(static_cast<std::size_t>(n_),
-                  std::vector<Value>(static_cast<std::size_t>(n_) + 2,
-                                     L::bottom()));
     for (int p = 0; p < n_; ++p) {
       regs_[static_cast<std::size_t>(p)].reserve(
           static_cast<std::size_t>(n_) + 2);
       for (int i = 0; i <= n_ + 1; ++i) {
-        regs_[static_cast<std::size_t>(p)].push_back(&world.make_register<Value>(
-            name + ".scan[" + std::to_string(p) + "][" + std::to_string(i) +
-                "]",
-            L::bottom(), /*writer=*/p));
+        regs_[static_cast<std::size_t>(p)].push_back(
+            &mem.template make<Value>("scan[" + std::to_string(p) + "][" +
+                                          std::to_string(i) + "]",
+                                      L::bottom(), /*writer=*/p));
       }
+    }
+    caches_.reserve(static_cast<std::size_t>(n_));
+    for (int p = 0; p < n_; ++p) {
+      caches_.push_back(std::make_unique<Cache>());
+      caches_.back()->row.assign(static_cast<std::size_t>(n_) + 2,
+                                 L::bottom());
     }
   }
 
@@ -75,9 +90,9 @@ class LatticeScanSim {
   // miscompiles co_await inside conditional expressions and call arguments
   // for coroutines with non-trivially-copyable locals (wrong-code, observed
   // as an infinite loop), so the hoisted form is mandatory here.
-  sim::SimCoro<Value> scan(sim::Context ctx, Value v) {
+  Coro<Value> scan(Ctx ctx, Value v) {
     const int p = ctx.pid();
-    auto& cache = cache_[static_cast<std::size_t>(p)];
+    auto& cache = caches_[static_cast<std::size_t>(p)]->row;
 
     // scan[P][0] := v ∨ scan[P][0]
     Value acc0 = std::move(v);
@@ -112,12 +127,12 @@ class LatticeScanSim {
   }
 
   // Write_L(P, v): contribute v to the lattice state (discard the join).
-  sim::SimCoro<void> write_l(sim::Context ctx, Value v) {
+  Coro<void> write_l(Ctx ctx, Value v) {
     co_await scan(ctx, std::move(v));
   }
 
   // ReadMax(P): the join of all values written so far.
-  sim::SimCoro<Value> read_max(sim::Context ctx) {
+  Coro<Value> read_max(Ctx ctx) {
     Value joined = co_await scan(ctx, L::bottom());
     co_return joined;
   }
@@ -126,9 +141,9 @@ class LatticeScanSim {
   // P "writes the P-th position in the anchor array by initializing
   // scan[P][0]" — one write (plus one read of the old cell in kPlain mode),
   // with no merge passes. Readers pick the value up via scan().
-  sim::SimCoro<void> post(sim::Context ctx, Value v) {
+  Coro<void> post(Ctx ctx, Value v) {
     const int p = ctx.pid();
-    auto& cache = cache_[static_cast<std::size_t>(p)];
+    auto& cache = caches_[static_cast<std::size_t>(p)]->row;
     Value acc = std::move(v);
     if (mode_ == ScanMode::kPlain) {
       Value old0 = co_await ctx.read(reg(p, 0));
@@ -141,21 +156,66 @@ class LatticeScanSim {
   }
 
   // Test/debug access to the underlying register matrix.
-  const sim::Register<Value>& register_at(int p, int i) const {
+  const typename B::template Reg<Value>& register_at(int p, int i) const {
     return reg(p, i);
   }
 
  private:
-  sim::Register<Value>& reg(int p, int i) const {
+  // Each process's cache row lives on its own cache lines (matters for the
+  // rt backend; harmless in the simulator).
+  struct alignas(64) Cache {
+    std::vector<Value> row;
+  };
+
+  typename B::template Reg<Value>& reg(int p, int i) const {
     APRAM_CHECK(p >= 0 && p < n_ && i >= 0 && i <= n_ + 1);
     return *regs_[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
   }
 
   int n_;
   ScanMode mode_;
-  std::vector<std::vector<sim::Register<Value>*>> regs_;  // [n][n+2]
-  // cache_[p][i] mirrors regs_[p][i]; coherent because p is the only writer.
-  std::vector<std::vector<Value>> cache_;
+  // [n][n+2]; cache_[p] mirrors row p, coherent because p is its only writer.
+  std::vector<std::vector<typename B::template Reg<Value>*>> regs_;
+  std::vector<std::unique_ptr<Cache>> caches_;
+};
+
+}  // namespace snapshot
+
+// Simulator instantiation under the historical name and constructor
+// signature (World& + register-name prefix). Forwarding methods hand back
+// the impl's SimCoro directly.
+template <Semilattice L>
+class LatticeScanSim {
+ public:
+  using Value = typename L::Value;
+
+  LatticeScanSim(sim::World& world, int num_procs, const std::string& name,
+                 ScanMode mode = ScanMode::kOptimized)
+      : mem_(world, name), impl_(mem_, num_procs, mode) {}
+
+  int num_procs() const { return impl_.num_procs(); }
+  ScanMode mode() const { return impl_.mode(); }
+
+  sim::SimCoro<Value> scan(sim::Context ctx, Value v) {
+    return impl_.scan(ctx, std::move(v));
+  }
+  sim::SimCoro<void> write_l(sim::Context ctx, Value v) {
+    return impl_.write_l(ctx, std::move(v));
+  }
+  sim::SimCoro<Value> read_max(sim::Context ctx) {
+    return impl_.read_max(ctx);
+  }
+  sim::SimCoro<void> post(sim::Context ctx, Value v) {
+    return impl_.post(ctx, std::move(v));
+  }
+
+  const sim::Register<Value>& register_at(int p, int i) const {
+    return impl_.register_at(p, i);
+  }
+
+ private:
+  api::SimBackend::Mem mem_;
+  snapshot::LatticeScan<api::SimBackend, L> impl_;
 };
 
 }  // namespace apram

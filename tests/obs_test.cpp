@@ -144,8 +144,7 @@ TEST(Trace, DrainResetsRingsButKeepsTotals) {
 
 TEST(SimObs, AttachMetricsCountsReadsAndWrites) {
   Registry reg;
-  sim::World w(2);
-  w.attach_metrics(reg);
+  sim::World w(2, {.metrics = &reg});
   AtomicSnapshotSim<int> snap(w, 2);
   w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
     co_await snap.update(ctx, 5);
@@ -161,15 +160,17 @@ TEST(SimObs, AttachMetricsCountsReadsAndWrites) {
 // and replay it via sim/replay — the replayed run is step-identical.
 TEST(SimObs, TraceOfThreeProcessRunReplaysIdentically) {
   struct Run : sim::Execution {
-    explicit Run(int n) : w(n), snap(w, n) {}
+    Run(int n, obs::Tracer* t) : w(n, {.tracer = t}), snap(w, n) {}
     sim::World& world() override { return w; }
     sim::World w;
     AtomicSnapshotSim<int> snap;
     std::vector<int> scans;
   };
   const int n = 3;
-  auto factory = [n]() -> std::unique_ptr<sim::Execution> {
-    auto run = std::make_unique<Run>(n);
+  // The tracer is construction-time configuration (World::Options), so the
+  // factory is parameterized by it; replay paths pass nullptr.
+  auto make = [n](obs::Tracer* t) -> std::unique_ptr<sim::Execution> {
+    auto run = std::make_unique<Run>(n, t);
     Run* r = run.get();
     for (int pid = 0; pid < n; ++pid) {
       r->w.spawn(pid, [r, pid](sim::Context ctx) -> sim::ProcessTask {
@@ -183,10 +184,11 @@ TEST(SimObs, TraceOfThreeProcessRunReplaysIdentically) {
     return run;
   };
 
+  auto factory = [&make]() { return make(nullptr); };
+
   // Original run: random schedule, traced.
   Tracer tracer(n, 4096);
-  auto orig = factory();
-  orig->world().set_tracer(&tracer);
+  auto orig = make(&tracer);
   sim::RandomScheduler sched(/*seed=*/7, /*stickiness=*/0.5);
   ASSERT_TRUE(orig->world().run(sched).all_done);
   const auto events = tracer.events();
@@ -213,8 +215,7 @@ TEST(SimObs, TraceOfThreeProcessRunReplaysIdentically) {
 
   // And the replayed run's own trace matches the original event-for-event.
   Tracer tracer2(n, 4096);
-  auto traced_replay = factory();
-  traced_replay->world().set_tracer(&tracer2);
+  auto traced_replay = make(&tracer2);
   sim::FixedScheduler fs(loaded, sim::FixedScheduler::Fallback::kStop);
   ASSERT_TRUE(traced_replay->world().run(fs).all_done);
   const auto events2 = tracer2.events();

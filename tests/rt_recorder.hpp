@@ -1,0 +1,47 @@
+// Thread-safe history recorder for real-thread lincheck tests.
+//
+// Operation windows are [t_before_call, t_after_call] on a shared logical
+// clock (one atomic counter), which safely over-approximates concurrency:
+// it never misses a real-time precedence, so a history the Wing–Gong
+// checker accepts is genuinely linearizable. Shared between the rt stress
+// suite and the TreeScan tests.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "lincheck/history.hpp"
+
+namespace apram {
+
+template <class Spec>
+class RtRecorder {
+ public:
+  std::size_t begin(int pid, typename Spec::Invocation inv) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.push_back(RecordedOp<Spec>{pid, std::move(inv), {},
+                                    clock_.fetch_add(1), kPending});
+    return ops_.size() - 1;
+  }
+  void end(std::size_t token, typename Spec::Response resp) {
+    const std::uint64_t now = clock_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_[token].resp = std::move(resp);
+    ops_[token].respond_time = now;
+  }
+  std::vector<RecordedOp<Spec>> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(ops_);
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{1};
+  std::mutex mu_;
+  std::vector<RecordedOp<Spec>> ops_;
+};
+
+}  // namespace apram

@@ -18,38 +18,11 @@
 #include "rt/fast_counter_rt.hpp"
 #include "rt/lattice_scan_rt.hpp"
 #include "rt/thread_harness.hpp"
+#include "rt_recorder.hpp"
+#include "snapshot/tree_scan.hpp"
 
 namespace apram::rt {
 namespace {
-
-// Thread-safe history recorder with atomic timestamps. Windows are
-// [t_before_call, t_after_call] on a shared logical clock, which safely
-// over-approximates concurrency (never misses real-time precedence).
-template <class Spec>
-class RtRecorder {
- public:
-  std::size_t begin(int pid, typename Spec::Invocation inv) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ops_.push_back(RecordedOp<Spec>{pid, std::move(inv), {},
-                                    clock_.fetch_add(1), kPending});
-    return ops_.size() - 1;
-  }
-  void end(std::size_t token, typename Spec::Response resp) {
-    const std::uint64_t now = clock_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(mu_);
-    ops_[token].resp = std::move(resp);
-    ops_[token].respond_time = now;
-  }
-  std::vector<RecordedOp<Spec>> take() {
-    std::lock_guard<std::mutex> lock(mu_);
-    return std::move(ops_);
-  }
-
- private:
-  std::atomic<std::uint64_t> clock_{1};
-  std::mutex mu_;
-  std::vector<RecordedOp<Spec>> ops_;
-};
 
 using C = CounterSpec;
 
@@ -154,6 +127,36 @@ TEST(RtStress, LatticeScanSnapshotHistoriesAreLinearizable) {
 
 TEST(RtStress, AfekSnapshotHistoriesAreLinearizable) {
   run_snapshot_lincheck_stress<AfekSnapshotRT<std::int64_t>>(8);
+}
+
+TEST(RtStress, TreeSnapshotHistoriesAreLinearizable) {
+  run_snapshot_lincheck_stress<snapshot::TreeSnapshotRT<std::int64_t>>(8);
+}
+
+TEST(RtStress, TreeScanRootIsMonotoneUnderConcurrentUpdates) {
+  // Node monotonicity is the linchpin of the TreeScan linearizability
+  // argument; hammer it with real parallelism on the MaxLattice instance.
+  const int n = 4;
+  snapshot::TreeScanRT<MaxLattice<std::int64_t>> tree(n);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  parallel_run(n, [&](int pid) {
+    if (pid == 0) {
+      std::int64_t last = tree.scan(pid);
+      for (int k = 0; k < 400; ++k) {
+        const std::int64_t v = tree.scan(pid);
+        if (v < last) violation.store(true);
+        last = v;
+      }
+      stop.store(true);
+    } else {
+      std::int64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        tree.update(pid, pid * 1'000'000 + ++i);
+      }
+    }
+  });
+  EXPECT_FALSE(violation.load());
 }
 
 TEST(RtStress, AfekSnapshotSequentialBehaviour) {

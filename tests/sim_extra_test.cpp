@@ -134,9 +134,8 @@ TEST(RandomScheduler, StickinessKeepsBursts) {
 }
 
 TEST(Trace, GlobalStepMatchesTraceLength) {
-  World w(2);
+  World w(2, {.trace = true});
   auto& reg = w.make_register<int>("r", 0);
-  w.set_trace(true);
   for (int pid = 0; pid < 2; ++pid) {
     w.spawn(pid, [&](Context ctx) -> ProcessTask {
       co_await ctx.read(reg);
@@ -154,10 +153,9 @@ TEST(Trace, GlobalStepMatchesTraceLength) {
 }
 
 TEST(Trace, ReadsAndWritesAttributedToRightRegisters) {
-  World w(1);
+  World w(1, {.trace = true});
   auto& a = w.make_register<int>("a", 0);
   auto& b = w.make_register<int>("b", 0);
-  w.set_trace(true);
   w.spawn(0, [&](Context ctx) -> ProcessTask {
     co_await ctx.read(a);
     co_await ctx.write(b, 1);

@@ -119,10 +119,9 @@ TEST(World, CrashStopsProcessButOthersFinish) {
 }
 
 TEST(World, TraceRecordsAccesses) {
-  World w(1);
+  World w(1, {.trace = true});
   auto& src = w.make_register<int>("src", 0);
   auto& dst = w.make_register<int>("dst", 0);
-  w.set_trace(true);
   w.spawn(0, [&](Context ctx) { return copier(ctx, src, dst, 2); });
   w.run_solo(0);
   ASSERT_EQ(w.trace().size(), 4u);

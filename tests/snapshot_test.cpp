@@ -114,9 +114,8 @@ class ScanOpCounts : public ::testing::TestWithParam<std::tuple<int, ScanMode>> 
 
 TEST_P(ScanOpCounts, MatchesClosedForm) {
   const auto [n, mode] = GetParam();
-  World w(n);
   obs::Registry registry;
-  w.attach_metrics(registry);
+  World w(n, {.metrics = &registry});
   LatticeScanSim<MaxL> ls(w, n, "ls", mode);
   w.spawn(0, [&](Context ctx) -> ProcessTask {
     co_await ls.scan(ctx, 5);

@@ -225,9 +225,8 @@ TEST(UniversalCounter, SurvivorCompletesDespiteCrashes) {
 
 TEST(UniversalCounter, PerOperationSharedAccessCostIsScanPlusOneWrite) {
   for (int n : {1, 2, 4, 8}) {
-    World w(n);
     obs::Registry registry;
-    w.attach_metrics(registry);
+    World w(n, {.metrics = &registry});
     CounterSim c(w, n);
     w.spawn(0, [&](Context ctx) -> ProcessTask {
       co_await c.inc(ctx, 1);
@@ -352,9 +351,8 @@ TEST(FastCounter, ConcurrentIncrementsAllCounted) {
 }
 
 TEST(FastCounter, UpdateCostIsOneWrite) {
-  World w(6);
   obs::Registry registry;
-  w.attach_metrics(registry);
+  World w(6, {.metrics = &registry});
   FastCounterSim c(w, 6);
   w.spawn(0, [&](Context ctx) -> ProcessTask { co_await c.inc(ctx, 1); });
   obs::CounterDelta reads(w.metrics_reads(0));
