@@ -10,7 +10,16 @@
 // each n — any mismatch aborts. A second table shows the cost is
 // schedule-independent (wait-freedom in the strongest sense). The registry
 // is dumped as a JSON artifact so CI can re-assert the counts offline.
+//
+// --trace_out=<path> additionally runs a traced contended world at
+// --trace_n (default 4) processes, writes a Perfetto-openable Chrome trace
+// to <path>, and embeds the raw span/access events in the metrics artifact
+// so `apram-trace check --bound scan` can re-derive the n²−1 / n+1 bound
+// from the trace alone — independently of the registry counters above.
+#include <memory>
+
 #include "bench_common.hpp"
+#include "obs/chrome_trace.hpp"
 #include "snapshot/lattice_scan.hpp"
 #include "snapshot/scan_stats.hpp"
 
@@ -42,6 +51,8 @@ Measured measure_solo_scan(obs::Registry& registry, int n, ScanMode mode) {
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
   BenchObs bobs("bench_e4_scan_ops", flags);
+  const std::string trace_out = flags.get_string("trace_out", "");
+  const int trace_n = static_cast<int>(flags.get_int("trace_n", 4));
   flags.check_unused();
 
   Table table("E4: Scan operation counts (must match §6.2 exactly)",
@@ -98,7 +109,32 @@ int run(int argc, char** argv) {
     }
   }
   contention.print(std::cout);
-  bobs.emit();
+
+  // Traced contended world: every process runs one optimized Scan with span
+  // tracing on, so the offline analyzer can re-count each op's accesses.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    const int n = trace_n;
+    tracer = std::make_unique<obs::Tracer>(n, /*capacity_per_ring=*/1 << 12);
+    sim::World w(n, {.metrics = &bobs.registry(),
+                     .metrics_prefix = "e4.traced",
+                     .tracer = tracer.get()});
+    LatticeScanSim<MaxL> ls(w, n, "ls");
+    for (int pid = 0; pid < n; ++pid) {
+      w.spawn(pid, [&ls, pid](sim::Context ctx) -> sim::ProcessTask {
+        co_await ls.scan(ctx, pid);
+      });
+    }
+    sim::RandomScheduler rs(1);
+    APRAM_CHECK(w.run(rs).all_done);
+    obs::write_chrome_trace(trace_out, tracer->events(),
+                            obs::TraceTimebase::kSimSteps,
+                            "bench_e4 traced Scan n=" + std::to_string(n));
+    std::cout << "\ntraced Scan world (n=" << n << "): " << trace_out
+              << " — open in ui.perfetto.dev; raw events embedded in the "
+                 "metrics artifact for apram-trace.\n";
+  }
+  bobs.emit(tracer.get());
   std::cout << "\nE4 PASS: registry-recorded counts equal the closed forms "
                "at every n, in both modes, under every schedule.\n";
   return 0;

@@ -18,7 +18,7 @@
 
 #include "bench_common.hpp"
 #include "rt/double_collect_rt.hpp"
-#include "rt/lattice_scan_rt.hpp"
+#include "snapshot/lattice_scan.hpp"
 #include "rt/thread_harness.hpp"
 #include "snapshot/atomic_snapshot.hpp"
 #include "snapshot/baselines/afek_snapshot.hpp"

@@ -10,7 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/rt_probe.hpp"
 #include "rt/fast_counter_rt.hpp"
-#include "rt/lattice_scan_rt.hpp"
+#include "snapshot/lattice_scan.hpp"
 #include "rt/register.hpp"
 
 namespace apram::rt {

@@ -16,16 +16,27 @@
 // number misleading there.
 //
 // Every cell becomes a gauge `t1.<impl>.t<threads>.mix<u>_<s>.ops_per_sec`
-// in the metrics artifact (--metrics_out, default BENCH_t1.json); the CI
-// smoke job runs with --ops_per_thread=500 and uploads the artifact.
+// in the metrics artifact (--metrics_out, default BENCH_t1.json), and every
+// cell's per-op wall latency lands in histograms `<cell>.update_ns` /
+// `<cell>.scan_ns` whose JSON carries p50/p90/p99/p99.9. The CI smoke job
+// runs with --ops_per_thread=500 and uploads the artifact.
+//
+// --trace_out=<path> additionally runs a small traced TreeScanRT workload,
+// writes a Perfetto-openable Chrome trace to <path>, and embeds the raw
+// events in the metrics artifact so `apram-trace check --bound tree_update`
+// can re-derive the update bound from the trace alone.
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/chrome_trace.hpp"
 #include "rt/afek_snapshot_rt.hpp"
 #include "rt/double_collect_rt.hpp"
-#include "rt/lattice_scan_rt.hpp"
+#include "snapshot/lattice_scan.hpp"
 #include "rt/thread_harness.hpp"
 #include "snapshot/baselines/mutex_snapshot.hpp"
 #include "snapshot/tree_scan.hpp"
@@ -45,10 +56,13 @@ struct Mix {
 };
 
 // Runs `ops_per_thread` ops per thread, each an update with probability
-// update_pct (deterministic per-thread Rng), and returns ops/sec.
+// update_pct (deterministic per-thread Rng), and returns ops/sec. Each op's
+// wall latency is recorded into the cell's update/scan histogram (threads
+// pin shard == pid, so recording is a lock-free fetch_add).
 template <class Update, class Scan>
 double run_mix(int threads, std::uint64_t ops_per_thread, const Mix& mix,
-               const Update& update, const Scan& scan) {
+               const Update& update, const Scan& scan,
+               obs::Histogram* update_ns, obs::Histogram* scan_ns) {
   rt::ThroughputRun tr(threads);
   std::vector<Rng> rngs;
   for (int p = 0; p < threads; ++p) {
@@ -58,17 +72,28 @@ double run_mix(int threads, std::uint64_t ops_per_thread, const Mix& mix,
   std::vector<std::int64_t> next(static_cast<std::size_t>(threads), 0);
   return tr.run_ops(ops_per_thread, [&](int pid) {
     const auto up = static_cast<std::size_t>(pid);
-    if (rngs[up].below(100) < static_cast<std::uint64_t>(mix.update_pct)) {
+    const bool is_update =
+        rngs[up].below(100) < static_cast<std::uint64_t>(mix.update_pct);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (is_update) {
       update(pid, pid * 1'000'000'000LL + ++next[up]);
     } else {
       scan(pid);
     }
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    (is_update ? update_ns : scan_ns)->record(ns);
   });
 }
 
+std::string cell_name(const std::string& impl, int threads, const Mix& mix) {
+  return "t1." + impl + ".t" + std::to_string(threads) + "." + mix.tag();
+}
+
 std::string gauge_name(const std::string& impl, int threads, const Mix& mix) {
-  return "t1." + impl + ".t" + std::to_string(threads) + "." + mix.tag() +
-         ".ops_per_sec";
+  return cell_name(impl, threads, mix) + ".ops_per_sec";
 }
 
 int run(int argc, char** argv) {
@@ -78,7 +103,16 @@ int run(int argc, char** argv) {
   const auto ops_per_thread = static_cast<std::uint64_t>(
       flags.get_int("ops_per_thread", 6000));
   const int max_threads = static_cast<int>(flags.get_int("max_threads", 8));
+  const std::string trace_out = flags.get_string("trace_out", "");
   flags.check_unused();
+
+  // Per-cell latency histograms: `<cell>.update_ns` / `<cell>.scan_ns`,
+  // exported with p50/p90/p99/p99.9 in the metrics JSON.
+  const auto lat = [&](const std::string& impl, int threads, const Mix& mix,
+                       const char* which) {
+    return &bobs.registry().histogram(cell_name(impl, threads, mix) + "." +
+                                      which);
+  };
 
   const std::vector<int> thread_counts = [&] {
     std::vector<int> ts;
@@ -97,12 +131,14 @@ int run(int argc, char** argv) {
       const double tree_ops = run_mix(
           t, ops_per_thread, mix,
           [&](int p, std::int64_t v) { tree.update(p, v); },
-          [&](int p) { (void)tree.scan(p); });
+          [&](int p) { (void)tree.scan(p); }, lat("tree", t, mix, "update_ns"),
+          lat("tree", t, mix, "scan_ns"));
       rt::LatticeScanRT<MaxL> flat(t);
       const double flat_ops = run_mix(
           t, ops_per_thread, mix,
           [&](int p, std::int64_t v) { flat.write_l(p, v); },
-          [&](int p) { (void)flat.read_max(p); });
+          [&](int p) { (void)flat.read_max(p); },
+          lat("flat", t, mix, "update_ns"), lat("flat", t, mix, "scan_ns"));
       const double speedup = flat_ops > 0.0 ? tree_ops / flat_ops : 0.0;
       bobs.registry()
           .gauge(gauge_name("tree", t, mix))
@@ -144,35 +180,66 @@ int run(int argc, char** argv) {
           .add(ops, 0)
           .end_row();
     };
-    const auto snap_mix = [&](auto& s) {
+    const auto snap_mix = [&](const std::string& impl, auto& s) {
       return run_mix(
           t, ops_per_thread, mix,
           [&](int p, std::int64_t v) { s.update(p, v); },
-          [&](int p) { (void)s.scan(p); });
+          [&](int p) { (void)s.scan(p); }, lat(impl, t, mix, "update_ns"),
+          lat(impl, t, mix, "scan_ns"));
     };
     {
       snapshot::TreeSnapshotRT<std::int64_t> s(t);
-      row("tree_snap", snap_mix(s));
+      row("tree_snap", snap_mix("tree_snap", s));
     }
     {
       rt::AtomicSnapshotRT<std::int64_t> s(t);
-      row("aadgms_snap", snap_mix(s));
+      row("aadgms_snap", snap_mix("aadgms_snap", s));
     }
     {
       rt::DoubleCollectSnapshotRT<std::int64_t> s(t);
-      row("double_collect", snap_mix(s));
+      row("double_collect", snap_mix("double_collect", s));
     }
     {
       rt::AfekSnapshotRT<std::int64_t> s(t);
-      row("afek_snap", snap_mix(s));
+      row("afek_snap", snap_mix("afek_snap", s));
     }
     {
       rt::MutexSnapshot<std::int64_t> s(t);
-      row("mutex_snap", snap_mix(s));
+      row("mutex_snap", snap_mix("mutex_snap", s));
     }
   }
   ctx.print(std::cout);
-  bobs.emit();
+
+  // ---- traced run: Perfetto artifact + analyzer input --------------------
+  // A small TreeScanRT workload with full span/access tracing. The Chrome
+  // trace goes to --trace_out; the raw events ride in the metrics JSON so
+  // `apram-trace check BENCH_t1.json --bound tree_update` can re-derive the
+  // 1 + 8*ceil(log2 n) update bound from the trace alone.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    const int tn = std::min(max_threads, 4);
+    tracer =
+        std::make_unique<obs::Tracer>(tn, /*capacity_per_ring=*/1 << 13);
+    snapshot::TreeScanRT<MaxL> tree(tn);
+    tree.attach_obs(bobs.registry(), "t1.traced", tracer.get());
+    rt::parallel_run(
+        tn,
+        [&](int pid) {
+          for (int i = 0; i < 64; ++i) {
+            tree.update(pid, pid * 1'000'000LL + i);
+            (void)tree.scan(pid);
+          }
+        },
+        tracer.get());
+    obs::write_chrome_trace(trace_out, tracer->events(),
+                            obs::TraceTimebase::kNanoseconds,
+                            "bench_t1 traced TreeScanRT n=" +
+                                std::to_string(tn));
+    std::cout << "\ntraced TreeScanRT run (n=" << tn << "): " << trace_out
+              << " — open in ui.perfetto.dev; raw events embedded in the "
+                 "metrics artifact for apram-trace.\n";
+  }
+  bobs.emit(tracer.get());
   std::cout << "\nT1 done.\n";
   return 0;
 }

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "objects/counter.hpp"
-#include "rt/lattice_scan_rt.hpp"
+#include "snapshot/lattice_scan.hpp"
 #include "rt/thread_harness.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/world.hpp"

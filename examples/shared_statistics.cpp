@@ -17,7 +17,7 @@
 #include <atomic>
 #include <cstdio>
 
-#include "rt/lattice_scan_rt.hpp"
+#include "snapshot/lattice_scan.hpp"
 #include "rt/register.hpp"
 #include "rt/thread_harness.hpp"
 

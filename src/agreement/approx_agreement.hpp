@@ -61,12 +61,14 @@ class ApproxAgreementSim {
   // calls have no effect. One read + (first time) one write.
   sim::SimCoro<void> input(sim::Context ctx, double x) {
     const int p = ctx.pid();
+    ctx.op_begin(obs::OpKind::kInput);
     const Entry mine = co_await ctx.read(*r_[static_cast<std::size_t>(p)]);
     if (mine.round == 0) {
       co_await ctx.write(*r_[static_cast<std::size_t>(p)],
                          Entry{x, 1});
       log_.push_back(WriteRecord{p, 1, x});
     }
+    ctx.op_end(obs::OpKind::kInput);
   }
 
   // output(P): the Figure 2 loop. P must have called input first (the paper
@@ -75,8 +77,10 @@ class ApproxAgreementSim {
   sim::SimCoro<double> output(sim::Context ctx) {
     const int p = ctx.pid();
     bool advance = false;
+    ctx.op_begin(obs::OpKind::kOutput);
 
-    for (;;) {
+    for (int round_iter = 0;; ++round_iter) {
+      ctx.op_phase(obs::Phase::kRound, round_iter);
       // Scan r (n reads, fixed order — the paper allows any order).
       std::vector<Entry> entries;
       entries.reserve(static_cast<std::size_t>(n_));
@@ -99,6 +103,7 @@ class ApproxAgreementSim {
       }
 
       if (eligible.size() < eps_ / 2.0) {
+        ctx.op_end(obs::OpKind::kOutput);
         co_return mine.prefer;
       } else if (leaders.size() < eps_ / 2.0 || advance) {
         co_await ctx.write(

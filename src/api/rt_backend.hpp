@@ -30,6 +30,7 @@
 #include "fault/rt_inject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/rt_probe.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "rt/register.hpp"
 #include "util/assert.hpp"
@@ -93,6 +94,17 @@ struct RtBackend {
           reg.compare_exchange(pid_, expected, std::move(desired));
       return detail::ReadyAwaiter<bool>{ok};
     }
+
+    // Operation-span markers (obs/span.hpp), forwarded to the calling
+    // thread's ambient span state (installed by rt::parallel_run). No-ops —
+    // one TLS load and a branch — without an ambient tracer. Same explicit
+    // begin/end contract as sim::Context.
+    void op_begin(obs::OpKind kind) const { obs::rt_op_begin(kind); }
+    void op_end(obs::OpKind kind) const { obs::rt_op_end(kind); }
+    void op_phase(obs::Phase phase, int index = -1) const {
+      obs::rt_op_phase(phase, index);
+    }
+    void op_help(int object) const { obs::rt_op_help(object); }
 
    private:
     int pid_;

@@ -47,16 +47,18 @@
 #include "objects/pseudo_rmw.hpp"
 #include "objects/randomized_consensus.hpp"
 #include "objects/specs.hpp"
+#include "obs/analyze.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/replay_artifact.hpp"
 #include "obs/rt_probe.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "rt/afek_snapshot_rt.hpp"
 #include "rt/approx_agreement_rt.hpp"
 #include "rt/double_collect_rt.hpp"
 #include "rt/fast_counter_rt.hpp"
-#include "rt/lattice_scan_rt.hpp"
 #include "rt/register.hpp"
 #include "rt/thread_harness.hpp"
 #include "sim/explore.hpp"

@@ -31,6 +31,7 @@
 
 #include "algebra/spec.hpp"
 #include "graph/lingraph.hpp"
+#include "obs/span.hpp"
 #include "snapshot/atomic_snapshot.hpp"
 
 namespace apram {
@@ -58,8 +59,10 @@ class UniversalObjectSim {
   sim::SimCoro<typename S::Response> execute(sim::Context ctx,
                                              typename S::Invocation inv) {
     const int p = ctx.pid();
+    ctx.op_begin(obs::OpKind::kExecute);
 
     // Step 1: atomic scan of the root array -> view.
+    ctx.op_phase(obs::Phase::kCollect);
     SnapshotView<const Entry*> view = co_await root_.scan(ctx);
 
     // Construct the linearization of the precedence graph rooted at the
@@ -83,7 +86,9 @@ class UniversalObjectSim {
     }
 
     // Step 2: write out the entry (one anchor write).
+    ctx.op_phase(obs::Phase::kPublish);
     co_await root_.update(ctx, &e);
+    ctx.op_end(obs::OpKind::kExecute);
     co_return resp;
   }
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/replay_artifact.hpp"
@@ -47,11 +48,22 @@ void run_one(const sim::ExecutionFactory& factory, const Judge& judge,
   const double stickiness =
       opts.max_stickiness > 0.0 ? rng.uniform(0.0, opts.max_stickiness) : 0.0;
 
-  // The registry must outlive the World it is attached to.
+  // The registry must outlive the World it is attached to. When artifacts
+  // are requested, a tracer rides along so a violation ships with its full
+  // event trace (spans included) in both metrics-JSON and Perfetto form.
   obs::Registry registry(/*num_shards=*/1);
   std::unique_ptr<sim::Execution> exec = factory();
   sim::World& w = exec->world();
-  w.apply_options({.metrics = &registry, .metrics_prefix = "cert"});
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!opts.artifact_dir.empty()) {
+    tracer = std::make_unique<obs::Tracer>(w.num_procs(),
+                                           /*capacity_per_ring=*/1 << 12);
+  }
+  sim::World::Options wopts;
+  wopts.metrics = &registry;
+  wopts.metrics_prefix = "cert";
+  wopts.tracer = tracer.get();
+  w.apply_options(wopts);
 
   const FaultPlan plan = random_plan(rng, w.num_procs(), opts.plan);
 
@@ -86,7 +98,10 @@ void run_one(const sim::ExecutionFactory& factory, const Judge& judge,
         v.artifact_path, v.schedule,
         {"seed " + std::to_string(seed), "violation: " + what,
          plan.describe()});
-    obs::write_metrics_json(stem + ".metrics.json", registry, nullptr,
+    obs::write_metrics_json(stem + ".metrics.json", registry, tracer.get(),
+                            "fault-campaign seed " + std::to_string(seed));
+    obs::write_chrome_trace(stem + ".trace.json", tracer->events(),
+                            obs::TraceTimebase::kSimSteps,
                             "fault-campaign seed " + std::to_string(seed));
   }
   result.violations.push_back(std::move(v));

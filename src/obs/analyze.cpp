@@ -1,0 +1,350 @@
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace apram::obs {
+
+namespace {
+
+OpStats& stats_for(std::map<std::uint64_t, OpStats>& by_id,
+                   std::vector<std::uint64_t>& order, std::uint64_t op) {
+  auto [it, inserted] = by_id.try_emplace(op);
+  if (inserted) {
+    it->second.op = op;
+    order.push_back(op);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+TraceAnalysis analyze(const std::vector<TraceEvent>& events) {
+  TraceAnalysis out;
+  std::map<std::uint64_t, OpStats> by_id;
+  std::vector<std::uint64_t> order;
+
+  for (const TraceEvent& ev : events) {
+    if (ev.pid >= 0) out.num_pids = std::max(out.num_pids, ev.pid + 1);
+    switch (ev.kind) {
+      case EventKind::kOpBegin: {
+        OpStats& s = stats_for(by_id, order, ev.op);
+        s.pid = ev.pid;
+        s.kind = static_cast<OpKind>(ev.arg);
+        s.begin = ev.when;
+        s.opened = true;
+        break;
+      }
+      case EventKind::kOpEnd: {
+        OpStats& s = stats_for(by_id, order, ev.op);
+        // kOpEnd is self-describing (arg = kind) precisely so an end whose
+        // begin was overwritten still identifies its operation.
+        if (!s.opened) {
+          s.pid = ev.pid;
+          s.kind = static_cast<OpKind>(ev.arg);
+        }
+        s.end = ev.when;
+        s.closed = true;
+        break;
+      }
+      case EventKind::kTruncated:
+        stats_for(by_id, order, ev.op).truncated = true;
+        break;
+      case EventKind::kPhase:
+        if (ev.op != 0) ++stats_for(by_id, order, ev.op).phases;
+        break;
+      case EventKind::kHelp:
+        if (ev.op != 0) ++stats_for(by_id, order, ev.op).helps;
+        break;
+      case EventKind::kRead:
+      case EventKind::kWrite:
+      case EventKind::kCas: {
+        if (ev.op == 0) {
+          ++out.untagged_accesses;
+          break;
+        }
+        OpStats& s = stats_for(by_id, order, ev.op);
+        if (ev.kind == EventKind::kRead) {
+          ++s.reads;
+        } else if (ev.kind == EventKind::kWrite) {
+          ++s.writes;
+        } else {
+          ++s.cas_ops;
+        }
+        break;
+      }
+      case EventKind::kSpawn:
+      case EventKind::kDone:
+      case EventKind::kCrash:
+      case EventKind::kUser:
+        break;
+    }
+  }
+
+  out.ops.reserve(order.size());
+  for (std::uint64_t op : order) {
+    OpStats& s = by_id[op];
+    // An op referenced only by accesses/ends, with no surviving begin and no
+    // marker, is truncated in effect (e.g. collected after a partial drain).
+    if (!s.opened) s.truncated = true;
+    if (s.truncated) {
+      ++out.truncated_ops;
+    } else if (!s.closed) {
+      ++out.open_ops;
+    }
+    out.ops.push_back(s);
+  }
+  return out;
+}
+
+const OpStats* TraceAnalysis::find(std::uint64_t op) const {
+  for (const OpStats& s : ops) {
+    if (s.op == op) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const OpStats*> TraceAnalysis::complete_of(OpKind kind) const {
+  std::vector<const OpStats*> out;
+  for (const OpStats& s : ops) {
+    if (s.kind == kind && s.complete()) out.push_back(&s);
+  }
+  return out;
+}
+
+// --- metrics-JSON event loader ---------------------------------------------
+//
+// Reads back exactly what obs::export_json writes: an "events" array of flat
+// objects with numeric fields and a quoted "kind". Not a general JSON
+// parser — it aborts on anything it does not recognise, which is the right
+// behaviour for a CI bound checker (a malformed artifact must fail the
+// check, not be half-read).
+
+namespace {
+
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  bool done() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!done() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (done() || s[i] != c) return false;
+    ++i;
+    return true;
+  }
+  void expect(char c) {
+    APRAM_CHECK_MSG(consume(c), "malformed events JSON: unexpected token");
+  }
+
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (!done() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;  // fields here never escape
+      out.push_back(s[i]);
+      ++i;
+    }
+    expect('"');
+    return out;
+  }
+
+  std::int64_t number() {
+    skip_ws();
+    std::size_t end = i;
+    if (end < s.size() && s[end] == '-') ++end;
+    while (end < s.size() && std::isdigit(static_cast<unsigned char>(s[end])))
+      ++end;
+    APRAM_CHECK_MSG(end > i, "malformed events JSON: expected a number");
+    const std::int64_t v = std::stoll(s.substr(i, end - i));
+    i = end;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::vector<TraceEvent> load_events_json(const std::string& path) {
+  std::ifstream in(path);
+  APRAM_CHECK_MSG(in.good(), "cannot open trace artifact");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const std::size_t at = text.find("\"events\"");
+  APRAM_CHECK_MSG(at != std::string::npos,
+                  "trace artifact has no \"events\" array — was the bench "
+                  "run with a tracer attached?");
+  Cursor cur{text, at + std::string("\"events\"").size()};
+  cur.expect(':');
+  cur.expect('[');
+
+  std::vector<TraceEvent> events;
+  cur.skip_ws();
+  if (cur.consume(']')) return events;
+  do {
+    cur.expect('{');
+    TraceEvent ev;
+    do {
+      const std::string key = cur.string_lit();
+      cur.expect(':');
+      if (key == "kind") {
+        ev.kind = kind_from_name(cur.string_lit());
+      } else {
+        const std::int64_t v = cur.number();
+        if (key == "when") {
+          ev.when = static_cast<std::uint64_t>(v);
+        } else if (key == "pid") {
+          ev.pid = static_cast<std::int32_t>(v);
+        } else if (key == "object") {
+          ev.object = static_cast<std::int32_t>(v);
+        } else if (key == "arg") {
+          ev.arg = static_cast<std::uint64_t>(v);
+        } else if (key == "op") {
+          ev.op = static_cast<std::uint64_t>(v);
+        } else {
+          APRAM_CHECK_MSG(false, "malformed events JSON: unknown event key");
+        }
+      }
+    } while (cur.consume(','));
+    cur.expect('}');
+    events.push_back(ev);
+  } while (cur.consume(','));
+  cur.expect(']');
+  return events;
+}
+
+// --- bound checks ----------------------------------------------------------
+
+namespace {
+
+int ceil_log2(int n) {
+  int m = 1;
+  int h = 0;
+  while (m < n) {
+    m *= 2;
+    ++h;
+  }
+  return h;
+}
+
+int effective_n(const TraceAnalysis& a, int n) { return n > 0 ? n : a.num_pids; }
+
+void check_ops(const TraceAnalysis& a, OpKind kind, BoundReport& report,
+               const std::function<void(const OpStats&, BoundReport&)>& one) {
+  for (const OpStats& s : a.ops) {
+    if (s.kind != kind) continue;
+    if (!s.complete()) {
+      ++report.excluded;
+      continue;
+    }
+    ++report.checked;
+    one(s, report);
+  }
+}
+
+void violation(BoundReport& report, const OpStats& s, const std::string& what,
+               std::uint64_t got, std::uint64_t bound, int n) {
+  std::ostringstream os;
+  os << "op " << s.op << " pid " << s.pid << ": " << got << ' ' << what
+     << " > bound " << bound << " (n=" << n << ")";
+  report.violations.push_back(BoundViolation{s.op, s.pid, os.str()});
+}
+
+}  // namespace
+
+BoundReport check_scan_bound(const TraceAnalysis& a, int n) {
+  const int nn = effective_n(a, n);
+  BoundReport report{.name = "scan", .formula = bound_formula("scan")};
+  APRAM_CHECK_MSG(nn >= 1, "scan bound needs n >= 1");
+  const std::uint64_t un = static_cast<std::uint64_t>(nn);
+  const std::uint64_t read_bound = un * un - 1;
+  const std::uint64_t write_bound = un + 1;
+  check_ops(a, OpKind::kScan, report,
+            [&](const OpStats& s, BoundReport& r) {
+              if (s.reads > read_bound)
+                violation(r, s, "reads", s.reads, read_bound, nn);
+              if (s.writes + s.cas_ops > write_bound)
+                violation(r, s, "writes", s.writes + s.cas_ops, write_bound,
+                          nn);
+            });
+  return report;
+}
+
+BoundReport check_tree_update_bound(const TraceAnalysis& a, int n) {
+  const int nn = effective_n(a, n);
+  BoundReport report{.name = "tree_update",
+                     .formula = bound_formula("tree_update")};
+  APRAM_CHECK_MSG(nn >= 1, "tree_update bound needs n >= 1");
+  const std::uint64_t bound =
+      1 + 8ull * static_cast<std::uint64_t>(ceil_log2(nn));
+  check_ops(a, OpKind::kTreeUpdate, report,
+            [&](const OpStats& s, BoundReport& r) {
+              if (s.accesses() > bound)
+                violation(r, s, "accesses", s.accesses(), bound, nn);
+            });
+  return report;
+}
+
+BoundReport check_tree_scan_bound(const TraceAnalysis& a) {
+  BoundReport report{.name = "tree_scan",
+                     .formula = bound_formula("tree_scan")};
+  check_ops(a, OpKind::kTreeScan, report,
+            [&](const OpStats& s, BoundReport& r) {
+              if (s.accesses() > 1)
+                violation(r, s, "accesses", s.accesses(), 1, a.num_pids);
+            });
+  return report;
+}
+
+BoundReport check_agreement_bound(const TraceAnalysis& a, double log_ratio,
+                                  int n) {
+  const int nn = effective_n(a, n);
+  BoundReport report{.name = "agreement",
+                     .formula = bound_formula("agreement")};
+  APRAM_CHECK_MSG(nn >= 1, "agreement bound needs n >= 1");
+  APRAM_CHECK_MSG(log_ratio >= 0.0, "agreement bound needs log2(delta/eps)");
+  // Theorem 5 with the same slackened constants tests/agreement_test.cpp
+  // asserts: (2n+1)·(log2(Δ/ε)+3) + 8n.
+  const double bound =
+      (2.0 * nn + 1.0) * (log_ratio + 3.0) + 8.0 * nn;
+  const std::uint64_t ubound = static_cast<std::uint64_t>(bound);
+  check_ops(a, OpKind::kOutput, report,
+            [&](const OpStats& s, BoundReport& r) {
+              if (static_cast<double>(s.accesses()) > bound)
+                violation(r, s, "accesses", s.accesses(), ubound, nn);
+            });
+  return report;
+}
+
+std::string bound_formula(const std::string& name) {
+  if (name == "scan") return "n^2-1";
+  if (name == "tree_update") return "1+8ceil(log2n)";
+  if (name == "tree_scan") return "1";
+  if (name == "agreement") return "(2n+1)(log2(delta/eps)+3)+8n";
+  return "";
+}
+
+std::string format_report(const BoundReport& r) {
+  std::ostringstream os;
+  os << (r.ok() ? "PASS" : "FAIL") << ' ' << r.name << " (" << r.formula
+     << "): " << r.checked << " ops checked";
+  if (r.excluded != 0) os << ", " << r.excluded << " truncated/open excluded";
+  if (!r.ok()) {
+    os << ", " << r.violations.size() << " violation(s)";
+    for (const BoundViolation& v : r.violations) os << "\n  " << v.detail;
+  }
+  return os.str();
+}
+
+}  // namespace apram::obs

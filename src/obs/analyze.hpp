@@ -1,0 +1,111 @@
+// apram::obs — offline trace analyzer.
+//
+// Re-derives the paper's per-operation bounds from a trace alone: spans
+// (obs/span.hpp) tie each shared-memory access event to an operation id, so
+// counting a trace's tagged accesses per op and comparing against the closed
+// forms is an end-to-end check that the *executed* algorithm — not a counter
+// someone remembered to bump — meets the theorem:
+//
+//   scan        §6.2: a lattice Scan costs ≤ n²−1 reads and ≤ n+1 writes
+//   tree_update Theorem (TreeScan): an update costs ≤ 1 + 8·⌈log2 n⌉ accesses
+//   tree_scan   a TreeScan scan costs exactly 1 access
+//   agreement   Theorem 5: an output() finishes within
+//               (2n+1)·(log2(Δ/ε)+3) + 8n accesses — the exact slackened
+//               constant tests/agreement_test.cpp asserts
+//
+// Truncation discipline: an op whose kOpBegin was overwritten in the ring
+// (marked kTruncated by the Tracer) or never closed has an under-counted
+// access total; such ops are excluded from bound checks and reported in
+// `TraceAnalysis::truncated_ops` / `open_ops` instead of silently passing.
+//
+// The `tools/apram-trace` CLI wraps this library over the `events` array of
+// a --metrics_out JSON artifact (obs/export.hpp schema).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace apram::obs {
+
+// Per-operation totals recovered from a trace.
+struct OpStats {
+  std::uint64_t op = 0;
+  int pid = -1;
+  OpKind kind = OpKind::kNone;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  bool opened = false;     // kOpBegin survived
+  bool closed = false;     // kOpEnd seen
+  bool truncated = false;  // kTruncated marker (ring overwrite ate the begin)
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t cas_ops = 0;
+  std::uint64_t phases = 0;  // kPhase events inside this op
+  std::uint64_t helps = 0;   // kHelp events inside this op
+
+  // Total shared-memory steps; a CAS is one atomic step of the extended
+  // model (same bookkeeping as obs::AccessCounts).
+  std::uint64_t accesses() const { return reads + writes + cas_ops; }
+
+  // Eligible for exact bound checking.
+  bool complete() const { return opened && closed && !truncated; }
+};
+
+struct TraceAnalysis {
+  std::vector<OpStats> ops;  // in first-appearance order
+  int num_pids = 0;          // max event pid + 1
+  std::uint64_t truncated_ops = 0;
+  std::uint64_t open_ops = 0;           // begun, never ended (e.g. crashed)
+  std::uint64_t untagged_accesses = 0;  // access events outside any span
+
+  const OpStats* find(std::uint64_t op) const;
+  std::vector<const OpStats*> complete_of(OpKind kind) const;
+};
+
+TraceAnalysis analyze(const std::vector<TraceEvent>& events);
+
+// Loads the `events` array of a metrics JSON artifact written by
+// obs::write_metrics_json (aborts on a file/shape it cannot read — a CI
+// check must fail loudly, not skip).
+std::vector<TraceEvent> load_events_json(const std::string& path);
+
+// --- bound checks ----------------------------------------------------------
+
+struct BoundViolation {
+  std::uint64_t op = 0;
+  int pid = -1;
+  std::string detail;  // "op 7 pid 2: 17 reads > bound 15 (n=4)"
+};
+
+struct BoundReport {
+  std::string name;            // canonical bound name
+  std::string formula;         // canonical formula string
+  std::uint64_t checked = 0;   // complete ops inspected
+  std::uint64_t excluded = 0;  // truncated/open ops of the kind, skipped
+  std::vector<BoundViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// n defaults (n <= 0) to the trace's num_pids.
+BoundReport check_scan_bound(const TraceAnalysis& a, int n = 0);
+BoundReport check_tree_update_bound(const TraceAnalysis& a, int n = 0);
+BoundReport check_tree_scan_bound(const TraceAnalysis& a);
+// `log_ratio` is log2(Δ/ε) of the agreement instance being checked.
+BoundReport check_agreement_bound(const TraceAnalysis& a, double log_ratio,
+                                  int n = 0);
+
+// Canonical formula for a bound name ("scan" → "n^2-1"); empty for unknown
+// names. The CLI accepts `--bound name=formula` and requires the formula,
+// spaces stripped, to match — a checksum that the invoker and the analyzer
+// agree on which theorem is being re-derived.
+std::string bound_formula(const std::string& name);
+
+// One human-readable line per report, "PASS"/"FAIL"-prefixed.
+std::string format_report(const BoundReport& r);
+
+}  // namespace apram::obs

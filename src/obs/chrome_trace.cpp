@@ -1,0 +1,172 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "obs/span.hpp"
+#include "util/assert.hpp"
+
+namespace apram::obs {
+
+namespace {
+
+struct Emitter {
+  std::ostream& os;
+  bool first = true;
+
+  std::ostream& event() {
+    os << (first ? "\n" : ",\n") << "    ";
+    first = false;
+    return os;
+  }
+};
+
+double to_us(std::uint64_t when, TraceTimebase tb) {
+  // One simulator step renders as one microsecond so step indices read
+  // directly off the viewer's time ruler.
+  return tb == TraceTimebase::kNanoseconds
+             ? static_cast<double>(when) / 1000.0
+             : static_cast<double>(when);
+}
+
+TraceTimebase resolve(TraceTimebase tb,
+                      const std::vector<TraceEvent>& events) {
+  if (tb != TraceTimebase::kAuto) return tb;
+  std::uint64_t max_when = 0;
+  for (const TraceEvent& ev : events) max_when = std::max(max_when, ev.when);
+  // A simulator run of 1e9 global steps is out of scope; an rt run's first
+  // nanosecond timestamps typically already exceed it.
+  return max_when >= 1000000000ull ? TraceTimebase::kNanoseconds
+                                   : TraceTimebase::kSimSteps;
+}
+
+}  // namespace
+
+void export_chrome_trace(std::ostream& os,
+                         const std::vector<TraceEvent>& events,
+                         TraceTimebase timebase,
+                         const std::string& process_name) {
+  const TraceTimebase tb = resolve(timebase, events);
+
+  std::set<std::uint64_t> truncated;
+  std::set<std::int32_t> pids;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == EventKind::kTruncated) truncated.insert(ev.op);
+    if (ev.pid >= 0) pids.insert(ev.pid);
+  }
+
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  Emitter out{os};
+
+  out.event() << "{ \"ph\": \"M\", \"pid\": 0, \"name\": \"process_name\", "
+                 "\"args\": { \"name\": \""
+              << process_name << "\" } }";
+  for (std::int32_t pid : pids) {
+    out.event() << "{ \"ph\": \"M\", \"pid\": 0, \"tid\": " << pid
+                << ", \"name\": \"thread_name\", \"args\": { \"name\": "
+                   "\"pid "
+                << pid << "\" } }";
+  }
+
+  // Per-object last successful CAS, for help flow arrows; per-pid open-span
+  // depth, to drop kOpEnd events whose begin was lost to ring overwrite
+  // (chrome rejects unbalanced E events).
+  std::map<std::int32_t, TraceEvent> last_cas;
+  std::map<std::int32_t, int> open_depth;
+  std::uint64_t next_flow = 1;
+
+  for (const TraceEvent& ev : events) {
+    const double ts = to_us(ev.when, tb);
+    switch (ev.kind) {
+      case EventKind::kOpBegin:
+        if (!truncated.count(ev.op)) {
+          ++open_depth[ev.pid];
+          out.event() << "{ \"ph\": \"B\", \"pid\": 0, \"tid\": " << ev.pid
+                      << ", \"ts\": " << ts << ", \"name\": \""
+                      << op_kind_name(static_cast<OpKind>(ev.arg))
+                      << "\", \"args\": { \"op\": " << ev.op << " } }";
+        }
+        break;
+      case EventKind::kOpEnd:
+        if (!truncated.count(ev.op) && open_depth[ev.pid] > 0) {
+          --open_depth[ev.pid];
+          out.event() << "{ \"ph\": \"E\", \"pid\": 0, \"tid\": " << ev.pid
+                      << ", \"ts\": " << ts << " }";
+        }
+        break;
+      case EventKind::kPhase:
+        out.event() << "{ \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, "
+                       "\"tid\": "
+                    << ev.pid << ", \"ts\": " << ts << ", \"name\": \"phase:"
+                    << phase_name(static_cast<Phase>(ev.arg))
+                    << "\", \"args\": { \"index\": " << ev.object
+                    << ", \"op\": " << ev.op << " } }";
+        break;
+      case EventKind::kHelp: {
+        out.event() << "{ \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, "
+                       "\"tid\": "
+                    << ev.pid << ", \"ts\": " << ts
+                    << ", \"name\": \"helped\", \"args\": { \"object\": "
+                    << ev.object << ", \"op\": " << ev.op << " } }";
+        auto it = last_cas.find(ev.object);
+        if (it != last_cas.end() && it->second.pid != ev.pid) {
+          const std::uint64_t id = next_flow++;
+          out.event() << "{ \"ph\": \"s\", \"cat\": \"help\", \"name\": "
+                         "\"help\", \"id\": "
+                      << id << ", \"pid\": 0, \"tid\": " << it->second.pid
+                      << ", \"ts\": " << to_us(it->second.when, tb) << " }";
+          out.event() << "{ \"ph\": \"f\", \"bp\": \"e\", \"cat\": "
+                         "\"help\", \"name\": \"help\", \"id\": "
+                      << id << ", \"pid\": 0, \"tid\": " << ev.pid
+                      << ", \"ts\": " << ts << " }";
+        }
+        break;
+      }
+      case EventKind::kCrash:
+        out.event() << "{ \"ph\": \"i\", \"s\": \"p\", \"pid\": 0, "
+                       "\"tid\": "
+                    << ev.pid << ", \"ts\": " << ts
+                    << ", \"name\": \"crash\" }";
+        break;
+      case EventKind::kRead:
+      case EventKind::kWrite:
+      case EventKind::kCas:
+        if (ev.kind == EventKind::kCas && ev.arg != 0) last_cas[ev.object] = ev;
+        out.event() << "{ \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, "
+                       "\"tid\": "
+                    << ev.pid << ", \"ts\": " << ts << ", \"name\": \""
+                    << kind_name(ev.kind) << " r" << ev.object
+                    << "\", \"args\": { \"op\": " << ev.op << " } }";
+        break;
+      case EventKind::kSpawn:
+      case EventKind::kDone:
+        out.event() << "{ \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, "
+                       "\"tid\": "
+                    << ev.pid << ", \"ts\": " << ts << ", \"name\": \""
+                    << kind_name(ev.kind) << "\" }";
+        break;
+      case EventKind::kUser:
+      case EventKind::kTruncated:
+        break;  // kUser payloads are producer-defined; markers are meta-data
+    }
+  }
+
+  os << (out.first ? "" : "\n  ") << "]\n}\n";
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        TraceTimebase timebase,
+                        const std::string& process_name) {
+  std::ofstream out(path);
+  APRAM_CHECK_MSG(out.good(), "cannot open chrome trace output file");
+  export_chrome_trace(out, events, timebase, process_name);
+  out.flush();
+  APRAM_CHECK_MSG(out.good(), "chrome trace artifact write failed");
+}
+
+}  // namespace apram::obs

@@ -1,0 +1,54 @@
+// apram::obs — Chrome/Perfetto trace-event export.
+//
+// Converts a Tracer's event stream into the Trace Event JSON format that
+// chrome://tracing and ui.perfetto.dev load directly:
+//
+//   * one track (tid) per model process, named "pid N",
+//   * operation spans as nested B/E duration events (name = op kind),
+//   * phases and shared-memory accesses as thread-scoped instants,
+//   * helps as flow arrows from the helping CAS to the helped operation
+//     (heuristic: the latest preceding successful CAS on the same object by
+//     another pid — exact under the simulator's total step order, best-effort
+//     for rt timestamps),
+//   * crashes as process-scoped instants.
+//
+// A span whose kOpEnd is missing (the op crashed, or the trace was drained
+// mid-operation) renders as an unclosed B event: the viewer extends it to the
+// end of the track, which is the honest picture. A kOpEnd whose begin was
+// lost to ring overwrite is dropped (its op carries a kTruncated marker).
+//
+// Timestamps: the JSON `ts` field is microseconds. Simulator traces tick in
+// global steps (one step = 1 µs, so step indices read directly off the
+// ruler); rt traces tick in nanoseconds (divided by 1000). kAuto picks per
+// trace: a max timestamp ≥ 1e9 can only be nanoseconds here.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace apram::obs {
+
+enum class TraceTimebase {
+  kAuto,
+  kSimSteps,     // TraceEvent::when is a global step index
+  kNanoseconds,  // TraceEvent::when is ns since tracer epoch
+};
+
+// Streams `events` (as returned by Tracer::events()/drain(), i.e. already
+// (when, pid)-sorted) as one Trace Event JSON object.
+void export_chrome_trace(std::ostream& os,
+                         const std::vector<TraceEvent>& events,
+                         TraceTimebase timebase = TraceTimebase::kAuto,
+                         const std::string& process_name = "apram");
+
+// Writes export_chrome_trace to `path`; aborts if the file cannot be
+// written (a missing CI artifact must fail loudly).
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        TraceTimebase timebase = TraceTimebase::kAuto,
+                        const std::string& process_name = "apram");
+
+}  // namespace apram::obs

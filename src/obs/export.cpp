@@ -74,7 +74,10 @@ void export_json(std::ostream& os, const Registry& reg, const Tracer* tracer,
     os << (first ? "\n" : ",\n") << "    ";
     json_escape(os, h->name());
     os << ": { \"count\": " << snap.count << ", \"sum\": " << snap.sum
-       << ", \"mean\": " << snap.mean() << ", \"buckets\": [";
+       << ", \"mean\": " << snap.mean() << ", \"p50\": " << snap.percentile(50)
+       << ", \"p90\": " << snap.percentile(90)
+       << ", \"p99\": " << snap.percentile(99)
+       << ", \"p999\": " << snap.percentile(99.9) << ", \"buckets\": [";
     bool bfirst = true;
     for (int b = 0; b < Histogram::kBuckets; ++b) {
       const std::uint64_t n = snap.buckets[static_cast<std::size_t>(b)];
@@ -95,7 +98,7 @@ void export_json(std::ostream& os, const Registry& reg, const Tracer* tracer,
       os << (first ? "\n" : ",\n") << "    { \"when\": " << ev.when
          << ", \"pid\": " << ev.pid << ", \"kind\": \"" << kind_name(ev.kind)
          << "\", \"object\": " << ev.object << ", \"arg\": " << ev.arg
-         << " }";
+         << ", \"op\": " << ev.op << " }";
       first = false;
     }
     os << (first ? "" : "\n  ") << "]";

@@ -8,10 +8,11 @@
 //     "counters":   { "sim.reads.p0": 35, ... },
 //     "gauges":     { "e4.n": 6, ... },
 //     "histograms": { "rt.scan.ns": { "count": 10, "sum": 123,
-//                                     "mean": 12.3,
+//                                     "mean": 12.3, "p50": 10, "p90": 14,
+//                                     "p99": 15, "p999": 15.9,
 //                                     "buckets": [[0,1],[2,4],...] } },
-//     "events":     [ { "when": 0, "pid": 1, "kind": "read",
-//                       "object": 3, "arg": 0 }, ... ]   // only if a tracer
+//     "events":     [ { "when": 0, "pid": 1, "kind": "read", "object": 3,
+//                       "arg": 0, "op": 7 }, ... ]        // only if a tracer
 //   }
 //
 // Histogram buckets are [lower_bound, count] pairs for non-empty buckets of

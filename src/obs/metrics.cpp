@@ -22,8 +22,14 @@ int this_shard() {
 
 void pin_this_shard(int shard) {
   APRAM_CHECK(shard >= 0);
+  APRAM_DCHECK_MSG(shard < kMaxShards,
+                   "pin_this_shard beyond kMaxShards: per-shard attribution "
+                   "will blur (totals stay exact)");
   tls_shard = shard % kMaxShards;
 }
+
+LatencyRecorder::LatencyRecorder(Registry& registry, const std::string& name)
+    : hist_(&registry.histogram(name)) {}
 
 Registry::Registry(int num_shards) : num_shards_(num_shards) {
   APRAM_CHECK(num_shards >= 1 && num_shards <= kMaxShards);

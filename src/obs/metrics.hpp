@@ -17,10 +17,15 @@
 // Shard selection: each thread lazily claims a shard index via this_shard();
 // the rt thread harness pins shard == pid so per-shard numbers line up with
 // the model's process ids. Two threads landing on the same shard is safe
-// (slots are atomics) — only attribution, never totals, can blur.
+// (slots are atomics) — only attribution, never totals, can blur. The blur
+// is structural beyond kMaxShards (64): pin_this_shard clamps shard ids
+// modulo kMaxShards (with a debug assert), so in a >64-thread harness
+// threads 0 and 64 share a shard — totals stay exact, per-shard attribution
+// does not. Keep per-pid readings inside 64 threads, or raise kMaxShards.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -39,7 +44,9 @@ inline constexpr int kMaxShards = 64;
 int this_shard();
 
 // Pins the calling thread's shard (the rt harness pins shard == pid so that
-// per-shard readings match process ids).
+// per-shard readings match process ids). Ids ≥ kMaxShards are clamped
+// modulo kMaxShards — a debug assert fires, and in release the pin still
+// succeeds with the attribution blur documented in the header comment.
 void pin_this_shard(int shard);
 
 namespace detail {
@@ -145,6 +152,42 @@ class Histogram {
       return count ? static_cast<double>(sum) / static_cast<double>(count)
                    : 0.0;
     }
+
+    // Estimated p-th percentile (p in [0, 100]), linearly interpolated
+    // inside the power-of-two bucket holding the target rank. Exact up to
+    // bucket resolution; edge cases: empty histogram → 0, bucket 0 (the
+    // value 0) → 0, the saturated top bucket (values ≥ 2^63) → its floor
+    // (no upper edge to interpolate toward).
+    double percentile(double p) const {
+      if (count == 0) return 0.0;
+      if (p < 0.0) p = 0.0;
+      if (p > 100.0) p = 100.0;
+      const double target = p / 100.0 * static_cast<double>(count);
+      double cum = 0.0;
+      for (int b = 0; b < kBuckets; ++b) {
+        const auto n = static_cast<double>(
+            buckets[static_cast<std::size_t>(b)]);
+        if (n == 0.0) continue;
+        if (cum + n >= target) {
+          const auto lo = static_cast<double>(bucket_floor(b));
+          if (b == 0 || b == kBuckets - 1) return lo;
+          const auto hi = static_cast<double>(bucket_floor(b + 1));
+          double within = (target - cum) / n;
+          if (within < 0.0) within = 0.0;
+          if (within > 1.0) within = 1.0;
+          return lo + (hi - lo) * within;
+        }
+        cum += n;
+      }
+      // All mass below target can only happen through rounding; report the
+      // highest non-empty bucket's floor.
+      for (int b = kBuckets - 1; b >= 0; --b) {
+        if (buckets[static_cast<std::size_t>(b)] != 0) {
+          return static_cast<double>(bucket_floor(b));
+        }
+      }
+      return 0.0;
+    }
   };
 
   Snapshot snapshot() const {
@@ -171,6 +214,41 @@ class Histogram {
   std::string name_;
   int num_shards_;
   std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Histogram front-end for wall-clock operation latencies. Caches the
+// `Histogram&` at construction (cold path) so record()/Timer stay on the
+// lock-free hot path. Values are nanoseconds; the JSON exporter emits
+// p50/p90/p99/p99.9 next to count/sum/mean for every histogram.
+class LatencyRecorder {
+ public:
+  LatencyRecorder(class Registry& registry, const std::string& name);
+
+  Histogram& histogram() { return *hist_; }
+
+  void record_ns(std::uint64_t ns) { hist_->record(ns); }
+
+  // RAII: records the scope's duration in nanoseconds on destruction.
+  class Timer {
+   public:
+    explicit Timer(LatencyRecorder& rec)
+        : rec_(&rec), begin_(std::chrono::steady_clock::now()) {}
+    ~Timer() {
+      rec_->record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - begin_)
+              .count()));
+    }
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+
+   private:
+    LatencyRecorder* rec_;
+    std::chrono::steady_clock::time_point begin_;
+  };
+
+ private:
+  Histogram* hist_;
 };
 
 // Named metric store. Creation is mutex-guarded (cold path); returned

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace apram::obs {
@@ -50,7 +51,8 @@ struct RtProbe {
     if (tracer == nullptr) return;
     const int pid = thread_pid();
     if (pid < 0 || pid >= tracer->num_rings()) return;
-    tracer->emit(TraceEvent{tracer->now_ns(), pid, kind, object, arg});
+    tracer->emit(
+        TraceEvent{tracer->now_ns(), pid, kind, object, arg, thread_op()});
   }
 };
 

@@ -1,0 +1,135 @@
+// apram::obs — operation spans.
+//
+// The paper's claims are per-operation (a Scan costs n²−1 reads, a TreeScan
+// update costs ≤ 1+8·⌈log2 n⌉ accesses, an agreement output finishes in
+// (2n+1)·log2(Δ/ε)+O(n) steps), but raw trace events are per-register. A
+// span ties the two together: an operation opens a span (kOpBegin), every
+// access emitted while it is the innermost open span carries its op id, and
+// closing it (kOpEnd) bounds the interval. Phases (kPhase) name the
+// algorithm's internal structure — collect passes, tree levels, agreement
+// rounds — and kHelp marks the double-refresh helping case.
+//
+// Two propagation paths, one per backend:
+//
+//   sim — the World owns a SpanStack per process; sim::Context::op_begin()
+//         etc. forward to it, and count_access/count_cas stamp the innermost
+//         op id onto every access event. Span calls are local bookkeeping:
+//         they cost zero model steps.
+//   rt  — thread-local ambient state (set_thread_span_tracer, installed by
+//         rt::parallel_run alongside the thread pid); RtBackend::Ctx
+//         op_begin() etc. hit it, and RtProbe stamps thread_op() onto every
+//         probed access. Without an ambient tracer every call is a cheap
+//         no-op (one TLS load and a branch).
+//
+// Algorithms use the explicit begin/end calls, NOT RAII: a sim coroutine
+// frame destroyed by a crash must leave its span open in the trace (that is
+// the truth of the execution), which a destructor-emitted end would destroy.
+// SpanScope below is RAII sugar for straight-line rt/test code only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace apram::obs {
+
+// What operation a span represents (TraceEvent::arg of kOpBegin/kOpEnd).
+enum class OpKind : std::uint8_t {
+  kNone = 0,
+  kScan,        // Figure 5 lattice Scan (§6.2: n²−1 reads, n+1 writes)
+  kWriteL,      // Write_L — one Scan with the join discarded
+  kReadMax,     // ReadMax — one Scan of ⊥
+  kPost,        // one-write snapshot contribution (§6 closing paragraph)
+  kTreeUpdate,  // TreeScan update (≤ 1+8·⌈log2 n⌉ accesses)
+  kTreeScan,    // TreeScan scan (1 access)
+  kInput,       // Figure 2 input()
+  kOutput,      // Figure 2 output() (Theorem 5 bound)
+  kExecute,     // universal construction execute() (Figure 4)
+  kUser,        // free-form
+};
+
+const char* op_kind_name(OpKind k);
+OpKind op_kind_from_name(const std::string& name);
+
+// Named phase inside an operation (TraceEvent::arg of kPhase; the event's
+// object field carries the phase index — pass / tree level / round).
+enum class Phase : std::uint8_t {
+  kNone = 0,
+  kCollect,        // one merge pass of the lattice Scan
+  kDoubleCollect,  // a double-collect retry (baselines)
+  kRefresh,        // one tree level's double-refresh (TreeScan update)
+  kRound,          // one Figure 2 output-loop iteration
+  kPublish,        // the anchor write of the universal construction
+  kUser,
+};
+
+const char* phase_name(Phase p);
+
+// Per-producer stack of open spans. Bounded: the deepest nesting in the
+// library is execute → read_max → scan (depth 3); 8 leaves headroom for
+// user composition. Overflow is a programming error, not a runtime state.
+struct SpanStack {
+  static constexpr int kMaxDepth = 8;
+
+  struct Frame {
+    std::uint64_t op_id = 0;
+    OpKind kind = OpKind::kNone;
+  };
+
+  Frame frames[kMaxDepth];
+  int depth = 0;
+
+  void push(std::uint64_t op_id, OpKind kind) {
+    APRAM_CHECK_MSG(depth < kMaxDepth, "span stack overflow");
+    frames[depth] = Frame{op_id, kind};
+    ++depth;
+  }
+
+  Frame pop() {
+    APRAM_CHECK_MSG(depth > 0, "op_end without a matching op_begin");
+    --depth;
+    return frames[depth];
+  }
+
+  // Innermost open op id; 0 when no span is open.
+  std::uint64_t current() const {
+    return depth > 0 ? frames[depth - 1].op_id : 0;
+  }
+};
+
+// --- rt ambient span state (thread-local) ---------------------------------
+//
+// Installed by rt::parallel_run next to set_thread_pid; rt algorithm code
+// reaches it through RtBackend::Ctx::op_begin() etc., probes through
+// thread_op(). Resetting the tracer clears the stack.
+
+void set_thread_span_tracer(Tracer* tracer);
+Tracer* thread_span_tracer();
+
+// Innermost op id of the calling thread; 0 outside any span (or without an
+// ambient tracer). RtProbe stamps this onto every probed access.
+std::uint64_t thread_op();
+
+// Emit span events into the ambient tracer. No-ops when no tracer is
+// installed or the thread has no model pid / ring.
+void rt_op_begin(OpKind kind);
+void rt_op_end(OpKind kind);
+void rt_op_phase(Phase phase, int index = -1);
+void rt_op_help(int object);
+
+// RAII span for straight-line rt/test/bench code (NOT for sim coroutine
+// bodies — see the header comment).
+class SpanScope {
+ public:
+  explicit SpanScope(OpKind kind) : kind_(kind) { rt_op_begin(kind); }
+  ~SpanScope() { rt_op_end(kind_); }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  OpKind kind_;
+};
+
+}  // namespace apram::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <set>
 
 namespace apram::obs {
 
@@ -20,8 +21,32 @@ const char* kind_name(EventKind k) {
       return "crash";
     case EventKind::kUser:
       return "user";
+    case EventKind::kOpBegin:
+      return "op_begin";
+    case EventKind::kOpEnd:
+      return "op_end";
+    case EventKind::kPhase:
+      return "phase";
+    case EventKind::kHelp:
+      return "help";
+    case EventKind::kTruncated:
+      return "truncated";
   }
   return "?";
+}
+
+EventKind kind_from_name(const std::string& name) {
+  static constexpr EventKind kAll[] = {
+      EventKind::kRead,    EventKind::kWrite, EventKind::kCas,
+      EventKind::kSpawn,   EventKind::kDone,  EventKind::kCrash,
+      EventKind::kUser,    EventKind::kOpBegin, EventKind::kOpEnd,
+      EventKind::kPhase,   EventKind::kHelp,  EventKind::kTruncated,
+  };
+  for (EventKind k : kAll) {
+    if (name == kind_name(k)) return k;
+  }
+  APRAM_CHECK_MSG(false, "unknown trace event kind name");
+  return EventKind::kUser;  // unreachable
 }
 
 Tracer::Tracer(int num_rings, std::size_t capacity_per_ring)
@@ -53,11 +78,35 @@ std::uint64_t Tracer::now_ns() const {
 }
 
 void Tracer::collect(std::vector<TraceEvent>& out) const {
-  for (const auto& ring : rings_) {
-    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    const Ring& ring = *rings_[r];
+    const std::uint64_t h = ring.head.load(std::memory_order_acquire);
     const std::uint64_t start = h > cap_ ? h - cap_ : 0;
+    const std::size_t first = out.size();
     for (std::uint64_t i = start; i < h; ++i) {
-      out.push_back(ring->slots[static_cast<std::size_t>(i % cap_)]);
+      out.push_back(ring.slots[static_cast<std::size_t>(i % cap_)]);
+    }
+    if (start == 0) continue;  // nothing overwritten in this ring
+    // Ring overflow: any op id referenced by a surviving event of this ring
+    // without a surviving kOpBegin lost its opening to overwrite. Mark each
+    // once, at the ring's earliest surviving timestamp, so analyzers can
+    // exclude the op instead of under-counting its accesses.
+    std::set<std::uint64_t> opened;
+    std::set<std::uint64_t> referenced;
+    for (std::size_t i = first; i < out.size(); ++i) {
+      if (out[i].op == 0) continue;
+      if (out[i].kind == EventKind::kOpBegin) {
+        opened.insert(out[i].op);
+      } else {
+        referenced.insert(out[i].op);
+      }
+    }
+    const std::uint64_t earliest = out[first].when;
+    const std::int32_t pid = out[first].pid;
+    for (std::uint64_t op : referenced) {
+      if (opened.count(op) != 0) continue;
+      out.push_back(TraceEvent{earliest, pid, EventKind::kTruncated,
+                               /*object=*/-1, /*arg=*/0, op});
     }
   }
   std::stable_sort(out.begin(), out.end(),

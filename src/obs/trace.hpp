@@ -34,9 +34,23 @@ enum class EventKind : std::uint8_t {
   kDone,   // process/thread finished
   kCrash,  // process crashed (failure injection)
   kUser,   // free-form, producer-defined
+  // Operation spans (obs/span.hpp). `op` is the span's operation id;
+  // accesses emitted while a span is open carry the same id.
+  kOpBegin,    // operation started (arg = obs::OpKind)
+  kOpEnd,      // operation finished (arg = obs::OpKind, self-describing so a
+               // surviving end whose begin was overwritten is identifiable)
+  kPhase,      // named phase inside the current op (arg = obs::Phase,
+               // object = phase index: pass / tree level / round)
+  kHelp,       // the current op was helped by a rival (object = structure-
+               // local node index; chrome export draws a flow arrow)
+  kTruncated,  // synthesized by events()/drain(): op `op` lost its kOpBegin
+               // to ring overwrite — analyzers must not count its accesses
 };
 
 const char* kind_name(EventKind k);
+
+// Inverse of kind_name for trace loaders; aborts on an unknown name.
+EventKind kind_from_name(const std::string& name);
 
 struct TraceEvent {
   std::uint64_t when = 0;   // sim: global step index; rt: ns since epoch
@@ -44,6 +58,7 @@ struct TraceEvent {
   EventKind kind = EventKind::kUser;
   std::int32_t object = -1;  // register/object id, -1 when not applicable
   std::uint64_t arg = 0;     // event-specific payload
+  std::uint64_t op = 0;      // owning operation id; 0 = no open span
 };
 
 class Tracer {
@@ -60,10 +75,22 @@ class Tracer {
   // Nanoseconds since this tracer's construction (rt timestamp source).
   std::uint64_t now_ns() const;
 
+  // Fresh operation id for a span (obs/span.hpp). Ids are unique per tracer
+  // across sim and rt producers; 0 is reserved for "no span".
+  std::uint64_t next_op_id() {
+    return next_op_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // --- Quiescent readers -------------------------------------------------
 
   // All surviving events, merged across rings, ordered by (when, pid). In
   // the simulator `when` is the unique global step, so the order is exact.
+  //
+  // Ring overwrite can truncate a span: a surviving kOpEnd (or tagged
+  // accesses) whose kOpBegin was overwritten. For each such op id a
+  // kTruncated marker is synthesized at the ring's earliest surviving
+  // timestamp, so analyzers report the op as truncated instead of
+  // miscounting its accesses.
   std::vector<TraceEvent> events() const;
 
   // events(), then resets every ring.
@@ -84,6 +111,7 @@ class Tracer {
   std::vector<std::unique_ptr<Ring>> rings_;
   std::uint64_t retired_recorded_ = 0;  // carried across drain() resets
   std::uint64_t retired_dropped_ = 0;
+  std::atomic<std::uint64_t> next_op_{1};  // 0 is "no span"
   std::chrono::steady_clock::time_point epoch_;
 };
 

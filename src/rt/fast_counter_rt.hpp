@@ -8,7 +8,7 @@
 #include <memory>
 #include <vector>
 
-#include "rt/lattice_scan_rt.hpp"
+#include "snapshot/lattice_scan.hpp"
 
 namespace apram::rt {
 

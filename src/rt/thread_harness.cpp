@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/rt_probe.hpp"
+#include "obs/span.hpp"
 #include "util/assert.hpp"
 
 namespace apram::rt {
@@ -34,7 +35,8 @@ std::vector<std::thread> launch_workers(
   for (int pid = 0; pid < num_threads; ++pid) {
     threads.emplace_back([barrier, &body, tracer, on_done, pid] {
       obs::set_thread_pid(pid);
-      obs::pin_this_shard(pid);
+      obs::pin_this_shard(pid % obs::kMaxShards);
+      obs::set_thread_span_tracer(tracer);
       barrier->ready.fetch_add(1, std::memory_order_relaxed);
       while (!barrier->go.load(std::memory_order_acquire)) {
         std::this_thread::yield();
@@ -49,6 +51,7 @@ std::vector<std::thread> launch_workers(
         tracer->emit(obs::TraceEvent{tracer->now_ns(), pid,
                                      obs::EventKind::kDone, -1, 0});
       }
+      obs::set_thread_span_tracer(nullptr);
       obs::set_thread_pid(-1);
     });
   }

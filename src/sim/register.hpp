@@ -16,6 +16,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/span.hpp"
 #include "sim/coro.hpp"
 #include "util/assert.hpp"
 
@@ -85,6 +86,16 @@ class Context {
   // snapshot/tree_scan.hpp's Stamped<T> for the standard recipe.
   template <class T>
   auto cas(Register<T>& reg, T expected, T desired) const;
+
+  // Operation-span markers (obs/span.hpp): local bookkeeping, zero model
+  // steps, no suspension. With no tracer attached they are no-ops, so
+  // algorithms call them unconditionally. Explicit begin/end (not RAII) so a
+  // crashed coroutine frame leaves its span open in the trace — which is the
+  // truth of that execution. Defined in sim/world.hpp.
+  void op_begin(obs::OpKind kind) const;
+  void op_end(obs::OpKind kind) const;
+  void op_phase(obs::Phase phase, int index = -1) const;
+  void op_help(int object) const;
 
  private:
   World* world_ = nullptr;

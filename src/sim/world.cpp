@@ -116,8 +116,46 @@ void World::set_tracer_impl(obs::Tracer* tracer) {
 
 void World::emit_lifecycle(int pid, obs::EventKind kind) {
   if (tracer_ == nullptr) return;
+  // A kCrash event carries the victim's innermost open op id: the span stays
+  // open in the trace, which is the truth of that execution.
   tracer_->emit(obs::TraceEvent{global_step_, pid, kind, /*object=*/-1,
-                                /*arg=*/0});
+                                /*arg=*/0, proc(pid).spans.current()});
+}
+
+void World::op_begin(int pid, obs::OpKind kind) {
+  if (tracer_ == nullptr) return;
+  const std::uint64_t id = tracer_->next_op_id();
+  proc(pid).spans.push(id, kind);
+  tracer_->emit(obs::TraceEvent{global_step_, pid, obs::EventKind::kOpBegin,
+                                /*object=*/-1,
+                                static_cast<std::uint64_t>(kind), id});
+}
+
+void World::op_end(int pid, obs::OpKind kind) {
+  if (tracer_ == nullptr) return;
+  Proc& p = proc(pid);
+  // Tolerate a tracer attached mid-operation (apply_options on a live
+  // World): the end of an un-begun span is dropped, not an underflow.
+  if (p.spans.depth == 0) return;
+  const obs::SpanStack::Frame frame = p.spans.pop();
+  tracer_->emit(obs::TraceEvent{global_step_, pid, obs::EventKind::kOpEnd,
+                                /*object=*/-1,
+                                static_cast<std::uint64_t>(kind),
+                                frame.op_id});
+}
+
+void World::op_phase(int pid, obs::Phase phase, int index) {
+  if (tracer_ == nullptr) return;
+  tracer_->emit(obs::TraceEvent{global_step_, pid, obs::EventKind::kPhase,
+                                index, static_cast<std::uint64_t>(phase),
+                                proc(pid).spans.current()});
+}
+
+void World::op_help(int pid, int object) {
+  if (tracer_ == nullptr) return;
+  tracer_->emit(obs::TraceEvent{global_step_, pid, obs::EventKind::kHelp,
+                                object, /*arg=*/0,
+                                proc(pid).spans.current()});
 }
 
 void World::count_access(int pid, int register_id, bool is_write) {
@@ -142,7 +180,7 @@ void World::count_access(int pid, int register_id, bool is_write) {
     tracer_->emit(obs::TraceEvent{
         global_step_, pid,
         is_write ? obs::EventKind::kWrite : obs::EventKind::kRead,
-        register_id, /*arg=*/0});
+        register_id, /*arg=*/0, proc(pid).spans.current()});
   }
   ++global_step_;
 }
@@ -160,7 +198,8 @@ void World::count_cas(int pid, int register_id, bool success) {
   }
   if (tracer_ != nullptr) {
     tracer_->emit(obs::TraceEvent{global_step_, pid, obs::EventKind::kCas,
-                                  register_id, success ? 1u : 0u});
+                                  register_id, success ? 1u : 0u,
+                                  proc(pid).spans.current()});
   }
   ++global_step_;
 }

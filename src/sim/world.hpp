@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/coro.hpp"
 #include "sim/register.hpp"
@@ -186,22 +187,6 @@ class World {
   // plus kSpawn/kDone/kCrash lifecycle events, and needs a ring per process.
   void apply_options(const Options& options);
 
-  [[deprecated("pass World::Options{.trace = true} at construction")]]
-  void set_trace(bool on) {
-    trace_enabled_ = on;
-  }
-  [[deprecated("pass World::Options{.metrics = &registry} at construction, "
-               "or apply_options for a World you did not build")]]
-  void attach_metrics(obs::Registry& registry,
-                      const std::string& prefix = "sim") {
-    attach_metrics_impl(registry, prefix);
-  }
-  [[deprecated("pass World::Options{.tracer = &tracer} at construction, or "
-               "apply_options for a World you did not build")]]
-  void set_tracer(obs::Tracer* tracer) {
-    set_tracer_impl(tracer);
-  }
-
   void detach_metrics();
   obs::Tracer* tracer() const { return tracer_; }
 
@@ -248,6 +233,7 @@ class World {
     bool crashed = false;
     StepCounts counts;
     std::uint64_t crash_at = kNoScheduledCrash;  // see schedule_crash
+    obs::SpanStack spans;  // open operation spans (obs/span.hpp)
   };
 
   Proc& proc(int pid) {
@@ -275,6 +261,15 @@ class World {
 
   void emit_lifecycle(int pid, obs::EventKind kind);
   void maybe_fire_scheduled_crash(int pid);
+
+  // Operation-span markers, called through Context::op_begin etc. Local
+  // bookkeeping at the current global step — zero model steps. No-ops
+  // without a tracer, so the per-proc span stacks stay balanced whether or
+  // not instrumentation is attached.
+  void op_begin(int pid, obs::OpKind kind);
+  void op_end(int pid, obs::OpKind kind);
+  void op_phase(int pid, obs::Phase phase, int index);
+  void op_help(int pid, int object);
 
   std::vector<Proc> procs_;
   std::vector<std::unique_ptr<RegisterBase>> registers_;
@@ -376,6 +371,26 @@ auto Context::cas(Register<T>& reg, T expected, T desired) const {
   APRAM_CHECK(world_ != nullptr);
   return CasAwaiter<T>{world_, pid_, &reg, std::move(expected),
                        std::move(desired)};
+}
+
+inline void Context::op_begin(obs::OpKind kind) const {
+  APRAM_CHECK(world_ != nullptr);
+  world_->op_begin(pid_, kind);
+}
+
+inline void Context::op_end(obs::OpKind kind) const {
+  APRAM_CHECK(world_ != nullptr);
+  world_->op_end(pid_, kind);
+}
+
+inline void Context::op_phase(obs::Phase phase, int index) const {
+  APRAM_CHECK(world_ != nullptr);
+  world_->op_phase(pid_, phase, index);
+}
+
+inline void Context::op_help(int object) const {
+  APRAM_CHECK(world_ != nullptr);
+  world_->op_help(pid_, object);
 }
 
 }  // namespace apram::sim

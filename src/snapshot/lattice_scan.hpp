@@ -1,7 +1,8 @@
 // The atomic scan of Section 6 (Figure 5), over an arbitrary ∨-semilattice —
 // written ONCE against the apram::api register-backend concept and
 // instantiated both in the simulator (apram::LatticeScanSim below) and on
-// real threads (apram::rt::LatticeScanRT in rt/lattice_scan_rt.hpp).
+// real threads (apram::rt::LatticeScanRT / apram::rt::AtomicSnapshotRT,
+// also below).
 //
 // Processes share an n×(n+2) matrix `scan[1..n][0..n+1]` of single-writer
 // multi-reader registers holding lattice values; process P writes only row P.
@@ -27,14 +28,18 @@
 // each register has a single writer, so the owner always knows its contents.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "api/backend.hpp"
+#include "api/rt_backend.hpp"
 #include "api/sim_backend.hpp"
 #include "lattice/lattice.hpp"
+#include "obs/span.hpp"
 #include "sim/world.hpp"
 
 namespace apram {
@@ -94,6 +99,11 @@ class LatticeScan {
     const int p = ctx.pid();
     auto& cache = caches_[static_cast<std::size_t>(p)]->row;
 
+    // Span markers are local bookkeeping (zero model steps); explicit
+    // begin/end, not RAII, so a crashed frame leaves the span open — see
+    // obs/span.hpp.
+    ctx.op_begin(obs::OpKind::kScan);
+
     // scan[P][0] := v ∨ scan[P][0]
     Value acc0 = std::move(v);
     if (mode_ == ScanMode::kPlain) {
@@ -109,6 +119,7 @@ class LatticeScan {
       // Per-pass accumulation: start from P's current level-i value (known
       // locally — single writer), join every level-(i-1) register, write the
       // result once. This is the per-pass cost §6.2 counts.
+      ctx.op_phase(obs::Phase::kCollect, i);
       Value acc = cache[static_cast<std::size_t>(i)];
       for (int q = 0; q < n_; ++q) {
         if (q == p && mode_ == ScanMode::kOptimized) {
@@ -123,17 +134,24 @@ class LatticeScan {
         co_await ctx.write(reg(p, i), std::move(acc));
       }
     }
+    ctx.op_end(obs::OpKind::kScan);
     co_return cache[static_cast<std::size_t>(n_) + 1];
   }
 
   // Write_L(P, v): contribute v to the lattice state (discard the join).
+  // The nested scan() opens its own kScan span, which owns the accesses;
+  // this outer span records the operation the caller asked for.
   Coro<void> write_l(Ctx ctx, Value v) {
+    ctx.op_begin(obs::OpKind::kWriteL);
     co_await scan(ctx, std::move(v));
+    ctx.op_end(obs::OpKind::kWriteL);
   }
 
   // ReadMax(P): the join of all values written so far.
   Coro<Value> read_max(Ctx ctx) {
+    ctx.op_begin(obs::OpKind::kReadMax);
     Value joined = co_await scan(ctx, L::bottom());
+    ctx.op_end(obs::OpKind::kReadMax);
     co_return joined;
   }
 
@@ -144,6 +162,7 @@ class LatticeScan {
   Coro<void> post(Ctx ctx, Value v) {
     const int p = ctx.pid();
     auto& cache = caches_[static_cast<std::size_t>(p)]->row;
+    ctx.op_begin(obs::OpKind::kPost);
     Value acc = std::move(v);
     if (mode_ == ScanMode::kPlain) {
       Value old0 = co_await ctx.read(reg(p, 0));
@@ -153,6 +172,7 @@ class LatticeScan {
     }
     cache[0] = acc;
     co_await ctx.write(reg(p, 0), std::move(acc));
+    ctx.op_end(obs::OpKind::kPost);
   }
 
   // Test/debug access to the underlying register matrix.
@@ -217,5 +237,129 @@ class LatticeScanSim {
   api::SimBackend::Mem mem_;
   snapshot::LatticeScan<api::SimBackend, L> impl_;
 };
+
+// Real-thread instantiations under the historical rt class names: thin
+// wrappers that instantiate the backend-templated class with
+// apram::api::RtBackend and expose the old int-pid call style. New code
+// should hold an api::RtBackend::Mem and the backend-templated class
+// directly. Thread p may call only the p-indexed entry points (the
+// single-writer discipline of the model).
+namespace rt {
+
+template <Semilattice L>
+class LatticeScanRT {
+ public:
+  using Value = typename L::Value;
+
+  explicit LatticeScanRT(int num_procs, ScanMode mode = ScanMode::kOptimized)
+      : mem_(num_procs), impl_(mem_, num_procs, mode) {}
+
+  int num_procs() const { return impl_.num_procs(); }
+
+  // Figure 5; callable only by thread p.
+  Value scan(int p, Value v) {
+    return impl_.scan(api::RtBackend::Ctx{p}, std::move(v)).get();
+  }
+
+  void write_l(int p, Value v) {
+    impl_.write_l(api::RtBackend::Ctx{p}, std::move(v)).get();
+  }
+
+  Value read_max(int p) {
+    return impl_.read_max(api::RtBackend::Ctx{p}).get();
+  }
+
+  // One-write contribution (snapshot update path).
+  void post(int p, Value v) {
+    impl_.post(api::RtBackend::Ctx{p}, std::move(v)).get();
+  }
+
+  // Instruments every register of the scan matrix: aggregate counters
+  // `rt.<name>.reads` / `rt.<name>.writes` (and `.cas`, unused here) in
+  // `registry`, plus per-access trace events (object id = p*(n+2)+i) when
+  // `tracer` is non-null. Attach before concurrent use; registry/tracer must
+  // outlive this object.
+  void attach_obs(obs::Registry& registry, const std::string& name,
+                  obs::Tracer* tracer = nullptr) {
+    mem_.attach_obs(registry, name, tracer);
+  }
+
+  // Attaches a fault injector to every register of the scan matrix (see
+  // fault/rt_inject.hpp); nullptr detaches. Attach before concurrent use.
+  void attach_injector(fault::RtInjector* injector) {
+    mem_.attach_injector(injector);
+  }
+
+ private:
+  api::RtBackend::Mem mem_;
+  snapshot::LatticeScan<api::RtBackend, L> impl_;
+};
+
+// Snapshot object on the tagged-vector lattice (end of §6), rt flavour.
+template <class T>
+class AtomicSnapshotRT {
+ public:
+  using Lattice = TaggedVectorLattice<T>;
+  using LatticeValue = typename Lattice::Value;
+
+  explicit AtomicSnapshotRT(int num_procs,
+                            ScanMode mode = ScanMode::kOptimized)
+      : n_(num_procs),
+        scan_(num_procs, mode),
+        next_tag_(static_cast<std::size_t>(num_procs)) {
+    for (auto& t : next_tag_) t = std::make_unique<Tag>();
+  }
+
+  int num_procs() const { return n_; }
+
+  void update(int p, T v) {
+    const std::uint64_t tag = ++next_tag_[static_cast<std::size_t>(p)]->value;
+    scan_.post(p, Lattice::singleton(static_cast<std::size_t>(n_),
+                                     static_cast<std::size_t>(p), tag,
+                                     std::move(v)));
+  }
+
+  std::vector<std::optional<T>> scan(int p) {
+    return unpack(scan_.read_max(p));
+  }
+
+  // Forwards to the underlying scan matrix (see LatticeScanRT::attach_obs).
+  void attach_obs(obs::Registry& registry, const std::string& name,
+                  obs::Tracer* tracer = nullptr) {
+    scan_.attach_obs(registry, name, tracer);
+  }
+
+  void attach_injector(fault::RtInjector* injector) {
+    scan_.attach_injector(injector);
+  }
+
+  std::vector<std::optional<T>> update_and_scan(int p, T v) {
+    const std::uint64_t tag = ++next_tag_[static_cast<std::size_t>(p)]->value;
+    return unpack(scan_.scan(
+        p, Lattice::singleton(static_cast<std::size_t>(n_),
+                              static_cast<std::size_t>(p), tag,
+                              std::move(v))));
+  }
+
+ private:
+  struct alignas(64) Tag {
+    std::uint64_t value = 0;
+  };
+
+  std::vector<std::optional<T>> unpack(const LatticeValue& joined) const {
+    std::vector<std::optional<T>> view(static_cast<std::size_t>(n_));
+    for (std::size_t i = 0;
+         i < joined.size() && i < static_cast<std::size_t>(n_); ++i) {
+      if (joined[i].tag != 0) view[i] = joined[i].value;
+    }
+    return view;
+  }
+
+  int n_;
+  LatticeScanRT<Lattice> scan_;
+  std::vector<std::unique_ptr<Tag>> next_tag_;
+};
+
+}  // namespace rt
 
 }  // namespace apram

@@ -65,6 +65,7 @@
 #include "api/rt_backend.hpp"
 #include "api/sim_backend.hpp"
 #include "lattice/lattice.hpp"
+#include "obs/span.hpp"
 #include "util/assert.hpp"
 
 namespace apram::snapshot {
@@ -149,11 +150,15 @@ class TreeScan {
   Coro<void> update(Ctx ctx, Value v) {
     const int p = ctx.pid();
     Cache& cache = *caches_[static_cast<std::size_t>(p)];
+    ctx.op_begin(obs::OpKind::kTreeUpdate);
     Value nv = L::join(std::move(v), cache.leaf);
     cache.leaf = nv;
     co_await ctx.write(leaf(p), std::move(nv));
     int u = (m_ + p) / 2;  // 0 when m_ == 1: the leaf is the root
+    int level = 0;
     while (u >= 1) {
+      ctx.op_phase(obs::Phase::kRefresh, level);
+      bool installed = false;
       for (int attempt = 0; attempt < 2; ++attempt) {
         Node cur = co_await ctx.read(node(u));
         const int lc = 2 * u;
@@ -179,20 +184,31 @@ class TreeScan {
         }
         Node next{cur.seq + 1, std::move(joined)};
         bool ok = co_await ctx.cas(node(u), std::move(cur), std::move(next));
-        if (ok) break;
+        if (ok) {
+          installed = true;
+          break;
+        }
       }
+      // Both CASes lost: the double-refresh lemma says a rival's install
+      // covered this contribution — the op was helped at node u.
+      if (!installed) ctx.op_help(u);
       u /= 2;
+      ++level;
     }
+    ctx.op_end(obs::OpKind::kTreeUpdate);
   }
 
   // The join of all contributions of updates that completed before the scan
   // started (and possibly some concurrent ones). One register access.
   Coro<Value> scan(Ctx ctx) {
+    ctx.op_begin(obs::OpKind::kTreeScan);
     if (m_ == 1) {
       Value v = co_await ctx.read(leaf(0));
+      ctx.op_end(obs::OpKind::kTreeScan);
       co_return v;
     }
     Node root = co_await ctx.read(node(1));
+    ctx.op_end(obs::OpKind::kTreeScan);
     co_return std::move(root.v);
   }
 

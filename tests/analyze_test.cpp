@@ -1,0 +1,268 @@
+// Tests for apram::obs — the offline trace analyzer (obs/analyze.hpp) that
+// re-derives the paper's per-operation bounds from span-tagged traces, and
+// the `events` JSON loader the apram-trace CLI feeds it with.
+//
+// The point of these tests: the bound checks must pass on REAL traces of the
+// real algorithms (not hand-built fixtures) at several n, must count §6.2's
+// closed forms exactly, and must FAIL when the trace is padded with extra
+// accesses — a checker that cannot reject a bad trace verifies nothing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/sim_backend.hpp"
+#include "obs/analyze.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/world.hpp"
+#include "snapshot/lattice_scan.hpp"
+#include "snapshot/tree_scan.hpp"
+
+namespace apram::obs {
+namespace {
+
+using MaxL = MaxLattice<std::int64_t>;
+
+// Runs every process through one optimized lattice Scan under a random
+// schedule and returns the collected trace.
+std::vector<TraceEvent> traced_scans(int n, std::uint64_t seed) {
+  Tracer tracer(n, 1 << 12);
+  sim::World w(n, {.tracer = &tracer});
+  LatticeScanSim<MaxL> ls(w, n, "ls");
+  for (int pid = 0; pid < n; ++pid) {
+    w.spawn(pid, [&ls, pid](sim::Context ctx) -> sim::ProcessTask {
+      (void)co_await ls.scan(ctx, pid);
+    });
+  }
+  sim::RandomScheduler rs(seed);
+  APRAM_CHECK(w.run(rs).all_done);
+  return tracer.events();
+}
+
+// Runs every process through one TreeScan update + one scan.
+std::vector<TraceEvent> traced_tree_ops(int n, std::uint64_t seed) {
+  Tracer tracer(n, 1 << 12);
+  sim::World w(n, {.tracer = &tracer});
+  api::SimBackend::Mem mem(w, "t");
+  snapshot::TreeScan<api::SimBackend, MaxL> tree(mem, n);
+  for (int pid = 0; pid < n; ++pid) {
+    w.spawn(pid, [&tree, pid](sim::Context ctx) -> sim::ProcessTask {
+      co_await tree.update(ctx, 100 + pid);
+      (void)co_await tree.scan(ctx);
+    });
+  }
+  sim::RandomScheduler rs(seed);
+  APRAM_CHECK(w.run(rs).all_done);
+  return tracer.events();
+}
+
+// ------------------------------------------------------------- op recovery --
+
+TEST(Analyze, RecoversExactScanCountsFromTheTraceAlone) {
+  const int n = 4;
+  const auto analysis = analyze(traced_scans(n, /*seed=*/3));
+  EXPECT_EQ(analysis.num_pids, n);
+  EXPECT_EQ(analysis.truncated_ops, 0u);
+  EXPECT_EQ(analysis.open_ops, 0u);
+
+  const auto scans = analysis.complete_of(OpKind::kScan);
+  ASSERT_EQ(scans.size(), static_cast<std::size_t>(n));
+  for (const OpStats* op : scans) {
+    // §6.2 optimized closed forms, re-derived from span-tagged events with
+    // no help from the registry counters: n²−1 reads, n+1 writes.
+    EXPECT_EQ(op->reads, static_cast<std::uint64_t>(n * n - 1));
+    EXPECT_EQ(op->writes, static_cast<std::uint64_t>(n + 1));
+    EXPECT_EQ(op->cas_ops, 0u);
+    EXPECT_EQ(op->phases, static_cast<std::uint64_t>(n + 1));
+    EXPECT_TRUE(op->complete());
+    EXPECT_LT(op->begin, op->end);
+  }
+}
+
+TEST(Analyze, FindAndUntaggedAccessesBehave) {
+  const std::vector<TraceEvent> evs = {
+      {1, 0, EventKind::kOpBegin, -1,
+       static_cast<std::uint64_t>(OpKind::kUser), 5},
+      {2, 0, EventKind::kRead, 0, 0, 5},
+      {3, 0, EventKind::kRead, 0, 0, 0},  // outside any span
+      {4, 0, EventKind::kOpEnd, -1,
+       static_cast<std::uint64_t>(OpKind::kUser), 5},
+  };
+  const auto a = analyze(evs);
+  EXPECT_EQ(a.untagged_accesses, 1u);
+  ASSERT_NE(a.find(5), nullptr);
+  EXPECT_EQ(a.find(5)->reads, 1u);
+  EXPECT_EQ(a.find(99), nullptr);
+}
+
+// ------------------------------------------------------------ bound checks --
+
+TEST(Analyze, ScanBoundHoldsAtSeveralN) {
+  for (int n : {2, 4, 8}) {
+    const auto analysis = analyze(traced_scans(n, /*seed=*/7 + n));
+    const auto report = check_scan_bound(analysis, n);
+    EXPECT_TRUE(report.ok()) << format_report(report);
+    EXPECT_EQ(report.checked, static_cast<std::uint64_t>(n)) << "n=" << n;
+    EXPECT_EQ(report.excluded, 0u);
+    EXPECT_EQ(report.formula, bound_formula("scan"));
+  }
+}
+
+TEST(Analyze, TreeBoundsHoldAtSeveralN) {
+  for (int n : {2, 4, 8}) {
+    const auto analysis = analyze(traced_tree_ops(n, /*seed=*/11 + n));
+    const auto update = check_tree_update_bound(analysis, n);
+    EXPECT_TRUE(update.ok()) << format_report(update);
+    EXPECT_EQ(update.checked, static_cast<std::uint64_t>(n)) << "n=" << n;
+    const auto scan = check_tree_scan_bound(analysis);
+    EXPECT_TRUE(scan.ok()) << format_report(scan);
+    EXPECT_EQ(scan.checked, static_cast<std::uint64_t>(n)) << "n=" << n;
+  }
+}
+
+TEST(Analyze, NDefaultsToTheTracesPidCount) {
+  const int n = 4;
+  const auto analysis = analyze(traced_scans(n, /*seed=*/23));
+  const auto report = check_scan_bound(analysis);  // n not supplied
+  EXPECT_TRUE(report.ok()) << format_report(report);
+  EXPECT_EQ(report.checked, static_cast<std::uint64_t>(n));
+}
+
+// The negative control: a trace padded with extra tagged reads must FAIL the
+// §6.2 bound. The real scans sit exactly at n²−1, so one forged read tips
+// one op over.
+TEST(Analyze, PaddedTraceFailsTheScanBound) {
+  const int n = 4;
+  auto events = traced_scans(n, /*seed=*/5);
+  std::uint64_t victim = 0;
+  for (const auto& ev : events) {
+    if (ev.kind == EventKind::kOpBegin &&
+        static_cast<OpKind>(ev.arg) == OpKind::kScan) {
+      victim = ev.op;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0u);
+  events.push_back({events.back().when + 1, 0, EventKind::kRead, 0, 0,
+                    victim});
+
+  const auto report = check_scan_bound(analyze(events), n);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].op, victim);
+  EXPECT_NE(format_report(report).find("FAIL"), std::string::npos);
+}
+
+TEST(Analyze, TruncatedAndOpenOpsAreExcludedNotChecked) {
+  const auto scan_arg = static_cast<std::uint64_t>(OpKind::kScan);
+  const std::vector<TraceEvent> evs = {
+      // Op 1: truncated (marker, no surviving begin) — 1 read survived of
+      // an unknown total; counting it would silently under-check.
+      {1, 0, EventKind::kTruncated, -1, 0, 1},
+      {2, 0, EventKind::kRead, 0, 0, 1},
+      {3, 0, EventKind::kOpEnd, -1, scan_arg, 1},
+      // Op 2: begun, never ended (crashed mid-op).
+      {4, 1, EventKind::kOpBegin, -1, scan_arg, 2},
+      {5, 1, EventKind::kRead, 0, 0, 2},
+  };
+  const auto a = analyze(evs);
+  EXPECT_EQ(a.truncated_ops, 1u);
+  EXPECT_EQ(a.open_ops, 1u);
+  const auto report = check_scan_bound(a, 2);
+  EXPECT_TRUE(report.ok());  // vacuous: nothing eligible…
+  EXPECT_EQ(report.checked, 0u);
+  EXPECT_EQ(report.excluded, 2u);  // …and both exclusions are reported
+}
+
+TEST(Analyze, AgreementBoundChecksOutputOps) {
+  const auto out_arg = static_cast<std::uint64_t>(OpKind::kOutput);
+  std::vector<TraceEvent> evs = {
+      {1, 0, EventKind::kOpBegin, -1, out_arg, 1},
+  };
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    evs.push_back({2 + i, 0, EventKind::kRead, 0, 0, 1});
+  }
+  evs.push_back({20, 0, EventKind::kOpEnd, -1, out_arg, 1});
+  // Theorem 5 with n=2, log2(Δ/ε)=3: (2n+1)(log_ratio+3) + 8n = 46.
+  const auto ok = check_agreement_bound(analyze(evs), /*log_ratio=*/3.0,
+                                        /*n=*/2);
+  EXPECT_TRUE(ok.ok()) << format_report(ok);
+  EXPECT_EQ(ok.checked, 1u);
+
+  for (std::uint64_t i = 0; i < 40; ++i) {  // now 50 accesses > 46
+    evs.insert(evs.end() - 1, {12 + i, 0, EventKind::kRead, 0, 0, 1});
+  }
+  const auto bad = check_agreement_bound(analyze(evs), /*log_ratio=*/3.0,
+                                         /*n=*/2);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Analyze, BoundFormulaNamesAreStable) {
+  // The CLI requires --bound name=formula to match these strings exactly —
+  // they are the contract between CI invocations and the analyzer.
+  EXPECT_EQ(bound_formula("scan"), "n^2-1");
+  EXPECT_EQ(bound_formula("tree_update"), "1+8ceil(log2n)");
+  EXPECT_EQ(bound_formula("tree_scan"), "1");
+  EXPECT_EQ(bound_formula("agreement"), "(2n+1)(log2(delta/eps)+3)+8n");
+  EXPECT_EQ(bound_formula("nope"), "");
+}
+
+// --------------------------------------------------------------- JSON load --
+
+TEST(Analyze, LoadEventsJsonRoundTripsThroughTheMetricsArtifact) {
+  const int n = 4;
+  Registry reg;
+  Tracer tracer(n, 1 << 12);
+  {
+    sim::World w(n, {.metrics = &reg, .tracer = &tracer});
+    LatticeScanSim<MaxL> ls(w, n, "ls");
+    for (int pid = 0; pid < n; ++pid) {
+      w.spawn(pid, [&ls, pid](sim::Context ctx) -> sim::ProcessTask {
+        (void)co_await ls.scan(ctx, pid);
+      });
+    }
+    sim::RandomScheduler rs(2);
+    APRAM_CHECK(w.run(rs).all_done);
+  }
+  const std::string path = "analyze_test.metrics.json";
+  write_metrics_json(path, reg, &tracer, "analyze_test");
+
+  const auto loaded = load_events_json(path);
+  const auto direct = tracer.events();
+  ASSERT_EQ(loaded.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(loaded[i].when, direct[i].when);
+    EXPECT_EQ(loaded[i].pid, direct[i].pid);
+    EXPECT_EQ(loaded[i].kind, direct[i].kind);
+    EXPECT_EQ(loaded[i].object, direct[i].object);
+    EXPECT_EQ(loaded[i].arg, direct[i].arg);
+    EXPECT_EQ(loaded[i].op, direct[i].op);
+  }
+
+  // End-to-end: the artifact round-trip still satisfies the §6.2 bound.
+  const auto report = check_scan_bound(analyze(loaded), n);
+  EXPECT_TRUE(report.ok()) << format_report(report);
+  EXPECT_EQ(report.checked, static_cast<std::uint64_t>(n));
+  std::remove(path.c_str());
+}
+
+TEST(AnalyzeDeath, LoadAbortsOnGarbageAndMissingFiles) {
+  const std::string path = "analyze_test.garbage.json";
+  {
+    std::ofstream out(path);
+    out << "{ \"name\": \"no events key here\" }";
+  }
+  EXPECT_DEATH((void)load_events_json(path), "");
+  EXPECT_DEATH((void)load_events_json("analyze_test.does_not_exist.json"),
+               "");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace apram::obs

@@ -7,10 +7,12 @@
 #include <thread>
 #include <vector>
 
+#include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/replay_artifact.hpp"
 #include "obs/rt_probe.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "rt/register.hpp"
 #include "rt/thread_harness.hpp"
@@ -18,6 +20,7 @@
 #include "sim/scheduler.hpp"
 #include "sim/world.hpp"
 #include "snapshot/atomic_snapshot.hpp"
+#include "snapshot/lattice_scan.hpp"
 
 namespace apram::obs {
 namespace {
@@ -337,6 +340,341 @@ TEST(ReplayArtifact, ScheduleFileRoundTrips) {
   write_schedule_file(path, sched);
   EXPECT_EQ(read_schedule_file(path), sched);
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ percentiles --
+
+TEST(Percentile, EmptyHistogramReportsZero) {
+  Registry reg;
+  const auto snap = reg.histogram("empty").snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(99.9), 0.0);
+}
+
+TEST(Percentile, EdgeBucketsReturnTheirFloors) {
+  Registry reg;
+  // Bucket 0 holds only the value 0; the top bucket (values ≥ 2^63) has no
+  // upper edge — both report their floor rather than interpolating.
+  Histogram& zeros = reg.histogram("zeros");
+  zeros.record(0);
+  zeros.record(0);
+  EXPECT_DOUBLE_EQ(zeros.snapshot().percentile(50), 0.0);
+
+  Histogram& top = reg.histogram("top");
+  top.record(~std::uint64_t{0});
+  EXPECT_DOUBLE_EQ(top.snapshot().percentile(99),
+                   static_cast<double>(std::uint64_t{1} << 63));
+}
+
+TEST(Percentile, InterpolatesInsideTheBucket) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  // One sample of 100 lands in bucket [64, 128): p50 is the bucket midpoint,
+  // p100 its upper edge — exact-to-bucket-resolution semantics.
+  h.record(100);
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(50), 96.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(100), 128.0);
+}
+
+TEST(Percentile, ClampsAndStaysMonotone) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(snap.percentile(-5), snap.percentile(0));
+  EXPECT_DOUBLE_EQ(snap.percentile(200), snap.percentile(100));
+  const double p50 = snap.percentile(50);
+  const double p90 = snap.percentile(90);
+  const double p99 = snap.percentile(99);
+  const double p999 = snap.percentile(99.9);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_GT(p50, 256.0);   // true p50 is 500; bucket resolution is 2×
+  EXPECT_LE(p999, 1024.0);
+}
+
+TEST(Export, HistogramJsonCarriesPercentiles) {
+  Registry reg;
+  reg.histogram("lat").record(100);
+  const std::string json = to_json(reg, nullptr, "unit");
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p90\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p999\": "), std::string::npos);
+}
+
+// ------------------------------------------------------------------ spans --
+
+using MaxL = MaxLattice<std::int64_t>;
+
+TEST(Span, SimScanSpanTagsEveryAccessAndPhase) {
+  const int n = 3;
+  Tracer tracer(n, 4096);
+  sim::World w(n, {.tracer = &tracer});
+  LatticeScanSim<MaxL> ls(w, n, "ls");
+  w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
+    (void)co_await ls.scan(ctx, 1);
+  });
+  w.run_solo(0);
+
+  std::uint64_t scan_op = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind == EventKind::kOpBegin &&
+        static_cast<OpKind>(ev.arg) == OpKind::kScan) {
+      scan_op = ev.op;
+    }
+  }
+  ASSERT_NE(scan_op, 0u);
+
+  int accesses = 0;
+  int phases = 0;
+  bool closed = false;
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind == EventKind::kRead || ev.kind == EventKind::kWrite) {
+      EXPECT_EQ(ev.op, scan_op);  // every access owned by the scan span
+      ++accesses;
+    } else if (ev.kind == EventKind::kPhase) {
+      EXPECT_EQ(static_cast<Phase>(ev.arg), Phase::kCollect);
+      EXPECT_EQ(ev.op, scan_op);
+      ++phases;
+    } else if (ev.kind == EventKind::kOpEnd && ev.op == scan_op) {
+      closed = true;
+    }
+  }
+  // §6.2 optimized: n²−1 reads + n+1 writes; one kCollect phase per pass.
+  EXPECT_EQ(accesses, n * n - 1 + n + 1);
+  EXPECT_EQ(phases, n + 1);
+  EXPECT_TRUE(closed);
+}
+
+TEST(Span, WriteLNestsAScanAndTheInnermostSpanOwnsAccesses) {
+  const int n = 2;
+  Tracer tracer(n, 4096);
+  sim::World w(n, {.tracer = &tracer});
+  LatticeScanSim<MaxL> ls(w, n, "ls");
+  w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
+    co_await ls.write_l(ctx, 7);
+  });
+  w.run_solo(0);
+
+  std::uint64_t outer = 0;
+  std::uint64_t inner = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind != EventKind::kOpBegin) continue;
+    if (static_cast<OpKind>(ev.arg) == OpKind::kWriteL) outer = ev.op;
+    if (static_cast<OpKind>(ev.arg) == OpKind::kScan) inner = ev.op;
+  }
+  ASSERT_NE(outer, 0u);
+  ASSERT_NE(inner, 0u);
+  EXPECT_NE(outer, inner);
+  int ends = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind == EventKind::kRead || ev.kind == EventKind::kWrite) {
+      EXPECT_EQ(ev.op, inner);  // nested scan is innermost → owns them
+    }
+    if (ev.kind == EventKind::kOpEnd) ++ends;
+  }
+  EXPECT_EQ(ends, 2);
+}
+
+TEST(Span, CrashLeavesTheSpanOpenInTheTrace) {
+  const int n = 2;
+  Tracer tracer(n, 4096);
+  sim::World w(n, {.tracer = &tracer});
+  LatticeScanSim<MaxL> ls(w, n, "ls");
+  for (int pid = 0; pid < n; ++pid) {
+    w.spawn(pid, [&ls, pid](sim::Context ctx) -> sim::ProcessTask {
+      (void)co_await ls.scan(ctx, pid);
+    });
+  }
+  w.schedule_crash(0, /*at_access=*/2);  // mid-scan, span still open
+  sim::RoundRobinScheduler rr;
+  EXPECT_TRUE(w.run(rr).all_done);
+  EXPECT_TRUE(w.crashed(0));
+
+  std::uint64_t crashed_op = 0;
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind == EventKind::kOpBegin && ev.pid == 0) crashed_op = ev.op;
+  }
+  ASSERT_NE(crashed_op, 0u);
+  bool crash_tagged = false;
+  for (const auto& ev : tracer.events()) {
+    // Explicit begin/end (not RAII) means the destroyed frame emits no
+    // kOpEnd — the open span is the truth of the execution — and the crash
+    // event itself carries the open op id.
+    EXPECT_FALSE(ev.kind == EventKind::kOpEnd && ev.op == crashed_op);
+    if (ev.kind == EventKind::kCrash && ev.op == crashed_op) {
+      crash_tagged = true;
+    }
+  }
+  EXPECT_TRUE(crash_tagged);
+}
+
+TEST(Span, RtAmbientSpanTagsProbedAccesses) {
+  Tracer tracer(2, 256);
+  Registry reg;
+  RtProbe probe{&reg.counter("r"), &reg.counter("w"), nullptr, &tracer, 3};
+  rt::SWMRRegister<std::int64_t> r(0);
+  r.attach_probe(&probe);
+  rt::parallel_run(
+      2,
+      [&](int pid) {
+        if (pid == 0) {
+          SpanScope span(OpKind::kUser);
+          r.write(1);
+        } else {
+          (void)r.read();  // outside any span → untagged
+        }
+      },
+      &tracer);
+  bool saw_write = false;
+  bool saw_read = false;
+  for (const auto& ev : tracer.events()) {
+    if (ev.kind == EventKind::kWrite) {
+      EXPECT_NE(ev.op, 0u);
+      saw_write = true;
+    }
+    if (ev.kind == EventKind::kRead) {
+      EXPECT_EQ(ev.op, 0u);
+      saw_read = true;
+    }
+  }
+  EXPECT_TRUE(saw_write);
+  EXPECT_TRUE(saw_read);
+  EXPECT_EQ(thread_op(), 0u);  // ambient state cleared outside the harness
+}
+
+// ----------------------------------------------------------- chrome trace --
+
+TEST(ChromeTrace, EmitsMetadataSpansAndInstants) {
+  const std::vector<TraceEvent> evs = {
+      {1, 0, EventKind::kOpBegin, -1,
+       static_cast<std::uint64_t>(OpKind::kScan), 1},
+      {2, 0, EventKind::kRead, 5, 0, 1},
+      {3, 0, EventKind::kPhase, 0,
+       static_cast<std::uint64_t>(Phase::kCollect), 1},
+      {4, 0, EventKind::kOpEnd, -1,
+       static_cast<std::uint64_t>(OpKind::kScan), 1},
+  };
+  std::stringstream ss;
+  export_chrome_trace(ss, evs, TraceTimebase::kSimSteps, "unit");
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);  // process name
+  EXPECT_NE(json.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("phase:collect"), std::string::npos);
+  EXPECT_NE(json.find("read r5"), std::string::npos);
+}
+
+TEST(ChromeTrace, DropsTruncatedOpsAndUnbalancedEnds) {
+  const std::vector<TraceEvent> evs = {
+      // Op 9's begin was overwritten (kTruncated marker): its end must not
+      // render. A bare kOpEnd with no begin at all must not render either —
+      // the viewer rejects unbalanced E events.
+      {1, 0, EventKind::kTruncated, -1, 0, 9},
+      {2, 0, EventKind::kOpEnd, -1, static_cast<std::uint64_t>(OpKind::kScan),
+       9},
+      {3, 1, EventKind::kOpEnd, -1, static_cast<std::uint64_t>(OpKind::kScan),
+       11},
+  };
+  std::stringstream ss;
+  export_chrome_trace(ss, evs, TraceTimebase::kSimSteps, "unit");
+  const std::string json = ss.str();
+  EXPECT_EQ(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"E\""), std::string::npos);
+}
+
+TEST(ChromeTrace, HelpEventsDrawFlowArrowsFromTheHelpingCas) {
+  const std::vector<TraceEvent> evs = {
+      {1, 1, EventKind::kCas, 4, /*success=*/1, 0},  // pid 1's CAS on node 4
+      {2, 0, EventKind::kHelp, 4, 0, 0},             // pid 0 was helped on 4
+  };
+  std::stringstream ss;
+  export_chrome_trace(ss, evs, TraceTimebase::kSimSteps, "unit");
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"name\": \"helped\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+}
+
+TEST(ChromeTrace, GoldenShapeForATinyDeterministicSimSchedule) {
+  // A solo n=2 optimized Scan is fully deterministic: 3 reads + 3 writes at
+  // global steps 0..5, one kScan span, n+1 = 3 collect phases. Only the op
+  // id (a process-global counter) varies run to run, so the golden asserts
+  // the exact event shape rather than a byte-identical file.
+  const int n = 2;
+  Tracer tracer(n, 1024);
+  sim::World w(n, {.tracer = &tracer});
+  LatticeScanSim<MaxL> ls(w, n, "ls");
+  w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
+    (void)co_await ls.scan(ctx, 1);
+  });
+  w.run_solo(0);
+
+  std::stringstream ss;
+  export_chrome_trace(ss, tracer.events(), TraceTimebase::kSimSteps,
+                      "golden");
+  const std::string json = ss.str();
+  const auto count = [&](const std::string& needle) {
+    int c = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + needle.size())) {
+      ++c;
+    }
+    return c;
+  };
+  EXPECT_EQ(count("\"ph\": \"M\""), 2);  // process name + one pid track
+  EXPECT_EQ(count("\"ph\": \"B\""), 1);
+  EXPECT_EQ(count("\"ph\": \"E\""), 1);
+  EXPECT_EQ(count("\"name\": \"scan\""), 1);
+  EXPECT_EQ(count("phase:collect"), n + 1);
+  EXPECT_EQ(count("\"name\": \"read"), n * n - 1);
+  EXPECT_EQ(count("\"name\": \"write"), n + 1);
+  // Step indices render directly as timestamps: the first access at step 0,
+  // the last of the 6 at step 5, and the span close stamped at step 6 (the
+  // global step after the final access). Nothing beyond that.
+  EXPECT_NE(json.find("\"ts\": 0,"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 5,"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 6 "), std::string::npos);  // the E event
+  EXPECT_EQ(json.find("\"ts\": 7"), std::string::npos);
+}
+
+// ------------------------------------------------------------- truncation --
+
+TEST(Trace, OverflowSynthesizesTruncatedMarkers) {
+  constexpr std::size_t kCap = 4;
+  Tracer tr(1, kCap);
+  tr.emit({1, 0, EventKind::kOpBegin, -1,
+           static_cast<std::uint64_t>(OpKind::kScan), 42});
+  for (std::uint64_t i = 0; i < 2 * kCap; ++i) {
+    tr.emit({2 + i, 0, EventKind::kRead, 0, 0, 42});
+  }
+  tr.emit({20, 0, EventKind::kOpEnd, -1,
+           static_cast<std::uint64_t>(OpKind::kScan), 42});
+  // The ring overwrote op 42's kOpBegin; collect() marks the op truncated so
+  // analyzers exclude it instead of under-counting its accesses.
+  bool marker = false;
+  for (const auto& ev : tr.events()) {
+    if (ev.kind == EventKind::kTruncated && ev.op == 42) marker = true;
+  }
+  EXPECT_TRUE(marker);
+}
+
+TEST(Trace, NoMarkersWithoutOverflow) {
+  Tracer tr(1, 64);
+  tr.emit({1, 0, EventKind::kOpBegin, -1,
+           static_cast<std::uint64_t>(OpKind::kScan), 7});
+  tr.emit({2, 0, EventKind::kRead, 0, 0, 7});
+  tr.emit({3, 0, EventKind::kOpEnd, -1,
+           static_cast<std::uint64_t>(OpKind::kScan), 7});
+  for (const auto& ev : tr.events()) {
+    EXPECT_NE(ev.kind, EventKind::kTruncated);
+  }
 }
 
 }  // namespace

@@ -16,7 +16,7 @@
 #include "objects/specs.hpp"
 #include "rt/afek_snapshot_rt.hpp"
 #include "rt/fast_counter_rt.hpp"
-#include "rt/lattice_scan_rt.hpp"
+#include "snapshot/lattice_scan.hpp"
 #include "rt/thread_harness.hpp"
 #include "rt_recorder.hpp"
 #include "snapshot/tree_scan.hpp"

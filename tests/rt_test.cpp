@@ -16,7 +16,7 @@
 #include "rt/approx_agreement_rt.hpp"
 #include "rt/double_collect_rt.hpp"
 #include "rt/fast_counter_rt.hpp"
-#include "rt/lattice_scan_rt.hpp"
+#include "snapshot/lattice_scan.hpp"
 #include "rt/register.hpp"
 #include "rt/thread_harness.hpp"
 #include "snapshot/baselines/mutex_snapshot.hpp"

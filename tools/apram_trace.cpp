@@ -1,0 +1,198 @@
+// apram-trace — offline trace analyzer CLI.
+//
+// Re-derives the paper's per-operation bounds from a --metrics_out JSON
+// artifact (obs/export.hpp schema, "events" array) with no access to the
+// program that produced it:
+//
+//   apram-trace summary <metrics.json>
+//       Per-op-kind table: op count, access min/mean/max, helps, plus the
+//       truncated/open-op and untagged-access totals.
+//
+//   apram-trace check <metrics.json> --bound scan --bound tree_update ...
+//       Checks every complete operation of the named kinds against the
+//       closed forms (obs/analyze.hpp). `--bound name=formula` additionally
+//       requires `formula` (spaces stripped) to match the canonical formula
+//       — a checksum that CI and the analyzer agree on which theorem is
+//       being re-derived:
+//
+//         --bound scan=n^2-1
+//         --bound tree_update=1+8ceil(log2n)
+//         --bound tree_scan=1
+//         --bound agreement --log_ratio <log2(delta/eps)>
+//
+//       `--n N` overrides the process count (default: max pid + 1 in the
+//       trace). Exit 0 iff every requested bound checked at least one
+//       complete op and found no violation; a bound that checks zero ops
+//       fails — a check that verified nothing must not pass CI.
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.hpp"
+
+namespace {
+
+using apram::obs::BoundReport;
+using apram::obs::OpKind;
+using apram::obs::OpStats;
+using apram::obs::TraceAnalysis;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  apram-trace summary <metrics.json>\n"
+      "  apram-trace check <metrics.json> --bound <name[=formula]>...\n"
+      "               [--n N] [--log_ratio X]\n"
+      "bounds: scan[=n^2-1]  tree_update[=1+8ceil(log2n)]  tree_scan[=1]\n"
+      "        agreement[=(2n+1)(log2(delta/eps)+3)+8n] (needs --log_ratio)\n");
+  std::exit(2);
+}
+
+std::string strip_spaces(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+int run_summary(const std::string& path) {
+  const TraceAnalysis a =
+      apram::obs::analyze(apram::obs::load_events_json(path));
+
+  std::printf("%-12s %6s %10s %10s %10s %7s\n", "op kind", "ops", "min",
+              "mean", "max", "helps");
+  static const OpKind kKinds[] = {
+      OpKind::kScan,    OpKind::kWriteL,     OpKind::kReadMax,
+      OpKind::kPost,    OpKind::kTreeUpdate, OpKind::kTreeScan,
+      OpKind::kInput,   OpKind::kOutput,     OpKind::kExecute,
+      OpKind::kUser,
+  };
+  for (OpKind kind : kKinds) {
+    const std::vector<const OpStats*> ops = a.complete_of(kind);
+    if (ops.empty()) continue;
+    std::uint64_t lo = ~0ull, hi = 0, sum = 0, helps = 0;
+    for (const OpStats* s : ops) {
+      lo = std::min(lo, s->accesses());
+      hi = std::max(hi, s->accesses());
+      sum += s->accesses();
+      helps += s->helps;
+    }
+    std::printf("%-12s %6zu %10llu %10.1f %10llu %7llu\n",
+                apram::obs::op_kind_name(kind), ops.size(),
+                static_cast<unsigned long long>(lo),
+                static_cast<double>(sum) / static_cast<double>(ops.size()),
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(helps));
+  }
+  std::printf("pids: %d   truncated ops: %llu   open ops: %llu   "
+              "untagged accesses: %llu\n",
+              a.num_pids, static_cast<unsigned long long>(a.truncated_ops),
+              static_cast<unsigned long long>(a.open_ops),
+              static_cast<unsigned long long>(a.untagged_accesses));
+  return 0;
+}
+
+int run_check(const std::string& path, const std::vector<std::string>& bounds,
+              int n, double log_ratio) {
+  const TraceAnalysis a =
+      apram::obs::analyze(apram::obs::load_events_json(path));
+
+  bool ok = true;
+  for (const std::string& spec : bounds) {
+    std::string name = spec;
+    std::string formula;
+    const std::size_t eq = spec.find('=');
+    if (eq != std::string::npos) {
+      name = spec.substr(0, eq);
+      formula = strip_spaces(spec.substr(eq + 1));
+    }
+    const std::string canonical = apram::obs::bound_formula(name);
+    if (canonical.empty()) {
+      std::fprintf(stderr, "unknown bound name: %s\n", name.c_str());
+      return 2;
+    }
+    if (!formula.empty() && formula != canonical) {
+      std::fprintf(stderr,
+                   "bound formula mismatch for %s: got \"%s\", the analyzer "
+                   "derives \"%s\"\n",
+                   name.c_str(), formula.c_str(), canonical.c_str());
+      return 2;
+    }
+
+    BoundReport report;
+    if (name == "scan") {
+      report = apram::obs::check_scan_bound(a, n);
+    } else if (name == "tree_update") {
+      report = apram::obs::check_tree_update_bound(a, n);
+    } else if (name == "tree_scan") {
+      report = apram::obs::check_tree_scan_bound(a);
+    } else {
+      if (log_ratio < 0.0) {
+        std::fprintf(stderr, "--bound agreement requires --log_ratio\n");
+        return 2;
+      }
+      report = apram::obs::check_agreement_bound(a, log_ratio, n);
+    }
+
+    std::printf("%s\n", apram::obs::format_report(report).c_str());
+    if (!report.ok()) ok = false;
+    if (report.checked == 0) {
+      std::printf("FAIL %s: zero complete ops in the trace — nothing was "
+                  "verified\n",
+                  report.name.c_str());
+      ok = false;
+    }
+  }
+  if (a.truncated_ops != 0) {
+    std::printf("note: %llu truncated op(s) excluded (ring overwrite)\n",
+                static_cast<unsigned long long>(a.truncated_ops));
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+
+  std::vector<std::string> bounds;
+  int n = 0;
+  double log_ratio = -1.0;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      usage();
+    };
+    if (arg.rfind("--bound", 0) == 0) {
+      bounds.push_back(value("--bound"));
+    } else if (arg.rfind("--n", 0) == 0 && arg.rfind("--log", 0) != 0) {
+      n = std::atoi(value("--n").c_str());
+    } else if (arg.rfind("--log_ratio", 0) == 0) {
+      log_ratio = std::atof(value("--log_ratio").c_str());
+    } else {
+      usage();
+    }
+  }
+
+  if (cmd == "summary") {
+    if (!bounds.empty()) usage();
+    return run_summary(path);
+  }
+  if (cmd == "check") {
+    if (bounds.empty()) usage();
+    return run_check(path, bounds, n, log_ratio);
+  }
+  usage();
+}
