@@ -41,6 +41,52 @@ void BM_RegisterWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_RegisterWrite);
 
+// Read-path cost of bounded reclamation, measured head to head: the default
+// register's acquire/release read (one fetch_add + one fetch_sub on top of
+// the copy) against the grow-only register's plain acquire-load. The delta
+// is the per-read price of bounded memory — the regression gate in CI
+// (tools/check_t1_regression.py) bounds the end-to-end effect at 10%.
+void BM_RegisterReadUnbounded(benchmark::State& state) {
+  UnboundedSWMRRegister<std::int64_t> reg(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.read());
+  }
+}
+BENCHMARK(BM_RegisterReadUnbounded);
+
+// Write-path comparison: arena alloc(+recycle)/publish/transfer against the
+// grow-only deque push_back + release store. The unbounded variant's memory
+// grows with the iteration count (this is exactly the leak the arena
+// removes), so keep an eye on benchmark-time RSS if you raise iterations.
+void BM_RegisterWriteUnbounded(benchmark::State& state) {
+  UnboundedSWMRRegister<std::int64_t> reg(0);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    reg.write(++i);
+  }
+}
+BENCHMARK(BM_RegisterWriteUnbounded);
+
+void BM_CasRegisterSwapBounded(benchmark::State& state) {
+  BoundedCASValueRegister<std::int64_t> reg(1, 0);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.compare_exchange(0, i, i + 1));
+    ++i;
+  }
+}
+BENCHMARK(BM_CasRegisterSwapBounded);
+
+void BM_CasRegisterSwapUnbounded(benchmark::State& state) {
+  UnboundedCASValueRegister<std::int64_t> reg(1, 0);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.compare_exchange(0, i, i + 1));
+    ++i;
+  }
+}
+BENCHMARK(BM_CasRegisterSwapUnbounded);
+
 // Same register paths with an obs::RtProbe attached: the delta against
 // BM_RegisterRead/Write is the cost of the one-relaxed-fetch_add hot path
 // (the budget documented in DESIGN.md).

@@ -161,6 +161,34 @@ struct RtBackend {
       for (auto& h : holders_) h->attach_injector(injector);
     }
 
+    // Reclamation accounting summed over every register in this Mem (exact
+    // at quiescence). Under the default bounded registers live_versions()
+    // is bounded by concurrent holders, not by write count; under
+    // APRAM_RT_UNBOUNDED it equals the total number of versions ever
+    // written — which is what makes the gauge worth watching.
+    rt::reclaim::ReclaimStats reclaim_stats() const {
+      rt::reclaim::ReclaimStats total;
+      for (const auto& h : holders_) total += h->reclaim_stats();
+      return total;
+    }
+
+    // Publishes the reclamation totals as gauges "rt.<name>.reclaim.
+    // {live_versions,retired,recycled,acquire_contention}" into `registry`.
+    // Call at quiescence (after joins); gauges are last-writer-wins.
+    void export_reclaim_gauges(obs::Registry& registry,
+                               const std::string& name) const {
+      const rt::reclaim::ReclaimStats s = reclaim_stats();
+      const std::string prefix = "rt." + name + ".reclaim.";
+      registry.gauge(prefix + "live_versions")
+          .set(static_cast<std::int64_t>(s.live_versions()));
+      registry.gauge(prefix + "retired")
+          .set(static_cast<std::int64_t>(s.retired));
+      registry.gauge(prefix + "recycled")
+          .set(static_cast<std::int64_t>(s.recycled));
+      registry.gauge(prefix + "acquire_contention")
+          .set(static_cast<std::int64_t>(s.acquire_contention));
+    }
+
     std::size_t num_registers() const { return holders_.size(); }
     const std::string& register_name(std::size_t i) const {
       return holders_[i]->name;
@@ -172,6 +200,7 @@ struct RtBackend {
       virtual ~HolderBase() = default;
       virtual void attach_probe(const obs::RtProbe* p) = 0;
       virtual void attach_injector(fault::RtInjector* inj) = 0;
+      virtual rt::reclaim::ReclaimStats reclaim_stats() const = 0;
 
       std::string name;
       obs::RtProbe probe;  // configured by attach_obs
@@ -187,6 +216,9 @@ struct RtBackend {
       }
       void attach_injector(fault::RtInjector* inj) override {
         reg.attach_injector(inj);
+      }
+      rt::reclaim::ReclaimStats reclaim_stats() const override {
+        return reg.reclaim_stats();
       }
 
       R reg;

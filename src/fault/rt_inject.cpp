@@ -30,6 +30,7 @@ void RtInjector::on_access() {
   // stall_armed_ admits exactly one parking, even if the victim races
   // through several accesses past the threshold.
   if (stall_armed_.load(std::memory_order_acquire) &&
+      stall_point_.load(std::memory_order_relaxed) == StallPoint::kAccess &&
       stall_pid_.load(std::memory_order_relaxed) == pid &&
       k > stall_after_.load(std::memory_order_relaxed)) {
     bool expected = true;
@@ -52,7 +53,35 @@ void RtInjector::on_access() {
   }
 }
 
-void RtInjector::arm_stall(int pid, std::uint64_t after) {
+void RtInjector::on_hold() {
+  // The hold window exists only in the bounded registers' read path; this
+  // hook fires with the caller's version acquired and not yet dereferenced.
+  // It intentionally skips the access counter and the probabilistic
+  // perturbation — on_access at the top of the same operation already did
+  // both — so it is free for everyone but an armed kHold victim.
+  if (!stall_armed_.load(std::memory_order_acquire)) return;
+  if (stall_point_.load(std::memory_order_relaxed) != StallPoint::kHold) {
+    return;
+  }
+  const int pid = obs::thread_pid();
+  if (pid < 0 || pid >= opts_.num_pids ||
+      stall_pid_.load(std::memory_order_relaxed) != pid) {
+    return;
+  }
+  const std::uint64_t k = per_thread_[static_cast<std::size_t>(pid)]
+                              .accesses.load(std::memory_order_relaxed);
+  if (k <= stall_after_.load(std::memory_order_relaxed)) return;
+  bool expected = true;
+  if (stall_armed_.compare_exchange_strong(expected, false,
+                                           std::memory_order_acq_rel)) {
+    stall_engaged_.store(true, std::memory_order_release);
+    while (!stall_release_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void RtInjector::arm_stall(int pid, std::uint64_t after, StallPoint point) {
   APRAM_CHECK(pid >= 0 && pid < opts_.num_pids);
   APRAM_CHECK_MSG(!stall_armed_.load(std::memory_order_acquire) &&
                       !stall_engaged_.load(std::memory_order_acquire),
@@ -61,6 +90,7 @@ void RtInjector::arm_stall(int pid, std::uint64_t after) {
   stall_engaged_.store(false, std::memory_order_relaxed);
   stall_pid_.store(pid, std::memory_order_relaxed);
   stall_after_.store(after, std::memory_order_relaxed);
+  stall_point_.store(point, std::memory_order_relaxed);
   stall_armed_.store(true, std::memory_order_release);
 }
 

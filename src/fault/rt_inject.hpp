@@ -21,6 +21,17 @@
 // crash the scheduler cannot distinguish from slowness — exactly the failure
 // model wait-freedom is about.
 //
+// The stall can be aimed at either of two points (StallPoint):
+//   * kAccess — the top of the access, before it takes effect (the default,
+//     and the model's canonical adversary move), or
+//   * kHold   — inside a bounded register's read, between the reader's
+//     version acquire and its dereference (registers call on_hold() there).
+//     A victim parked at kHold holds a version reference indefinitely while
+//     every other thread keeps writing: the precise window in which a broken
+//     reclamation scheme would free memory out from under a reader. on_hold
+//     never perturbs probabilistically and never counts as an access — it is
+//     purely the hard-stall hook, so access accounting stays exact.
+//
 // Threads without a model pid (obs::thread_pid() < 0, e.g. the main thread
 // probing a register mid-stall) pass through uninjected.
 #pragma once
@@ -41,6 +52,12 @@ struct RtInjectOptions {
   int num_pids = 64;  // threads with pid >= num_pids pass through
 };
 
+// Where an armed hard stall parks its victim.
+enum class StallPoint : int {
+  kAccess = 0,  // top of the access, before it takes effect
+  kHold = 1,    // between a bounded reader's acquire and its dereference
+};
+
 class RtInjector {
  public:
   explicit RtInjector(const RtInjectOptions& opts);
@@ -48,14 +65,23 @@ class RtInjector {
   RtInjector& operator=(const RtInjector&) = delete;
 
   // Called by instrumented registers at the top of every access. Wait-free
-  // for every thread except an armed stall victim, which blocks here until
-  // release_stall().
+  // for every thread except an armed kAccess stall victim, which blocks
+  // here until release_stall().
   void on_access();
 
-  // Parks `pid`'s thread once it has performed `after` accesses (so the
-  // victim's (after+1)-th access does not happen until release_stall()).
-  // One stall may be armed at a time; re-arming requires a release first.
-  void arm_stall(int pid, std::uint64_t after);
+  // Called by bounded registers between a reader's version acquire and its
+  // dereference. Parks an armed kHold victim (holding its version!) until
+  // release_stall(); a no-op for everyone else. Never counts as an access,
+  // never perturbs probabilistically.
+  void on_hold();
+
+  // Parks `pid`'s thread at `point` once it has performed `after` accesses
+  // (so for kAccess, the victim's (after+1)-th access does not happen until
+  // release_stall(); for kHold, the victim parks inside its first read at or
+  // past that threshold, holding the acquired version). One stall may be
+  // armed at a time; re-arming requires a release first.
+  void arm_stall(int pid, std::uint64_t after,
+                 StallPoint point = StallPoint::kAccess);
   void release_stall();
   bool stall_engaged() const {
     return stall_engaged_.load(std::memory_order_acquire);
@@ -85,6 +111,7 @@ class RtInjector {
   std::atomic<bool> stall_armed_{false};
   std::atomic<int> stall_pid_{-1};
   std::atomic<std::uint64_t> stall_after_{0};
+  std::atomic<StallPoint> stall_point_{StallPoint::kAccess};
   std::atomic<bool> stall_engaged_{false};
   std::atomic<bool> stall_release_{false};
 

@@ -1,9 +1,12 @@
 #include "obs/metrics.hpp"
 
+#include <cstdio>
+
 namespace apram::obs {
 
 namespace {
 std::atomic<int> g_next_shard{0};
+std::atomic<std::uint64_t> g_pinning_degraded{0};
 thread_local int tls_shard = -1;
 thread_local int tls_pid = -1;
 }  // namespace
@@ -22,10 +25,24 @@ int this_shard() {
 
 void pin_this_shard(int shard) {
   APRAM_CHECK(shard >= 0);
-  APRAM_DCHECK_MSG(shard < kMaxShards,
-                   "pin_this_shard beyond kMaxShards: per-shard attribution "
-                   "will blur (totals stay exact)");
+  if (shard >= kMaxShards) {
+    // Loud, not fatal: totals stay exact, per-shard attribution blurs.
+    // Warn once per process (fetch_add returning 0 elects the first caller)
+    // and count every occurrence so exporters can flag the run.
+    if (g_pinning_degraded.fetch_add(1, std::memory_order_relaxed) == 0) {
+      std::fprintf(stderr,
+                   "[apram::obs] warning: pin_this_shard(%d) beyond "
+                   "kMaxShards=%d; clamping modulo — per-shard attribution "
+                   "is degraded (totals stay exact). See the "
+                   "obs.pinning_degraded gauge.\n",
+                   shard, kMaxShards);
+    }
+  }
   tls_shard = shard % kMaxShards;
+}
+
+std::uint64_t pinning_degraded() {
+  return g_pinning_degraded.load(std::memory_order_relaxed);
 }
 
 LatencyRecorder::LatencyRecorder(Registry& registry, const std::string& name)

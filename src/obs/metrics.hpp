@@ -19,9 +19,11 @@
 // the model's process ids. Two threads landing on the same shard is safe
 // (slots are atomics) — only attribution, never totals, can blur. The blur
 // is structural beyond kMaxShards (64): pin_this_shard clamps shard ids
-// modulo kMaxShards (with a debug assert), so in a >64-thread harness
-// threads 0 and 64 share a shard — totals stay exact, per-shard attribution
-// does not. Keep per-pid readings inside 64 threads, or raise kMaxShards.
+// modulo kMaxShards, so in a >64-thread harness threads 0 and 64 share a
+// shard — totals stay exact, per-shard attribution does not. The clamp is
+// never silent: the first occurrence per process warns on stderr, every
+// occurrence bumps pinning_degraded() (exported as the `obs.pinning_degraded`
+// gauge). Keep per-pid readings inside 64 threads, or raise kMaxShards.
 #pragma once
 
 #include <atomic>
@@ -45,9 +47,15 @@ int this_shard();
 
 // Pins the calling thread's shard (the rt harness pins shard == pid so that
 // per-shard readings match process ids). Ids ≥ kMaxShards are clamped
-// modulo kMaxShards — a debug assert fires, and in release the pin still
-// succeeds with the attribution blur documented in the header comment.
+// modulo kMaxShards — the pin succeeds with the attribution blur documented
+// in the header comment, a one-time warning goes to stderr, and every
+// clamped pin increments pinning_degraded().
 void pin_this_shard(int shard);
+
+// Number of pin_this_shard calls that had to clamp (shard ≥ kMaxShards)
+// since process start. Zero means every per-shard reading is exact. The
+// JSON exporter surfaces this as the `obs.pinning_degraded` gauge.
+std::uint64_t pinning_degraded();
 
 namespace detail {
 struct alignas(64) Slot {

@@ -33,6 +33,15 @@ class FastCounterRT {
     snap_.attach_injector(injector);
   }
 
+  // Reclamation accounting for the underlying snapshot's registers.
+  reclaim::ReclaimStats reclaim_stats() const {
+    return snap_.reclaim_stats();
+  }
+  void export_reclaim_gauges(obs::Registry& registry,
+                             const std::string& name) const {
+    snap_.export_reclaim_gauges(registry, name);
+  }
+
   void inc(int p, std::int64_t by = 1) { add(p, by); }
   void dec(int p, std::int64_t by = 1) { add(p, -by); }
 

@@ -3,18 +3,26 @@
 // The paper's model assumes atomic registers large enough to hold whole
 // arrays ("numerous techniques exist for constructing large atomic registers
 // from smaller ones"). On real hardware we realize an arbitrarily large
-// single-writer multi-reader atomic register by publishing immutable nodes
-// through one std::atomic pointer:
+// single-writer multi-reader atomic register by publishing immutable
+// versions through one atomic word. Two implementations share that shape:
 //
-//   * write (owner thread only): append the new value to a grow-only node
-//     store, then release-store its address. One atomic store.
-//   * read (any thread): one acquire-load, then dereference. Wait-free.
+//   * Bounded (the default): versions live in an rt::reclaim::VersionArena —
+//     a 64-bit control word packing {acquire count, arena slot}, wait-free
+//     reader acquire/release, publication with count transfer, failed-CAS
+//     cleanup, and per-writer free-list recycling. Memory is proportional to
+//     concurrent holders, never to write count. See rt/reclaim.hpp for the
+//     protocol and safety argument.
 //
-// Nodes are never mutated after publication and never freed before the
-// register is destroyed, mirroring the paper's unbounded-register
-// assumption (see DESIGN.md substitution table). std::deque guarantees
-// reference stability under push_back, and only the single writer touches
-// the deque structure, so reads race with nothing.
+//   * Unbounded (Unbounded* classes; the APRAM_RT_UNBOUNDED build flips the
+//     default aliases to them): every write appends to a grow-only node
+//     store that is never freed before the register is destroyed — the
+//     paper's unbounded-register assumption, verbatim. Use it for exact
+//     paper-mode audits where reclamation itself must be out of the picture.
+//
+// Reads return BY VALUE in both flavours (the copy happens while the version
+// is held; bounded readers then release it). Both read paths are wait-free:
+// unbounded is one acquire-load, bounded is one fetch_add + one fetch_sub.
+//
 // Both register flavours carry an optional apram::obs probe (attach_probe):
 // unattached, an access pays one relaxed pointer load and a predictable
 // branch; attached, each access is counted (relaxed fetch_add) and — when
@@ -23,7 +31,11 @@
 // They also carry an optional apram::fault::RtInjector (attach_injector)
 // that fires BEFORE the access takes effect — the injection point is the
 // access boundary, the only place the model lets an adversary act. The
-// unattached cost is the same one relaxed load + branch as the probe.
+// bounded registers add a second injection point, on_hold(), between a
+// reader's acquire and its dereference: stalling there keeps a version
+// pinned while writers churn, which is exactly the window a reclamation bug
+// would need to free a held version (tests/rt_reclaim_test.cpp proves it
+// cannot). The unattached cost is the same one relaxed load + branch.
 #pragma once
 
 #include <atomic>
@@ -34,28 +46,190 @@
 
 #include "fault/rt_inject.hpp"
 #include "obs/rt_probe.hpp"
+#include "rt/reclaim.hpp"
 #include "util/assert.hpp"
 
 namespace apram::rt {
 
+// ---------------------------------------------------------------------------
+// Bounded-memory registers (default): VersionArena underneath.
+// ---------------------------------------------------------------------------
+
 template <class T>
-class SWMRRegister {
+class BoundedSWMRRegister {
  public:
-  explicit SWMRRegister(T initial) {
+  explicit BoundedSWMRRegister(T initial) : arena_(1, std::move(initial)) {}
+
+  BoundedSWMRRegister(const BoundedSWMRRegister&) = delete;
+  BoundedSWMRRegister& operator=(const BoundedSWMRRegister&) = delete;
+
+  // Any thread. Wait-free: one fetch_add (acquire), copy, one fetch_sub
+  // (release). The returned value is the caller's own copy.
+  T read() const {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
+    const auto ref = arena_.acquire();
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_hold();
+    }
+    T v = arena_.get(ref);
+    arena_.release(ref);
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_read();
+    }
+    return v;
+  }
+
+  // Owner thread only (single writer). Wait-free: allocate (own free list),
+  // one exchange to install, one fetch_add to transfer the old version's
+  // acquire count.
+  void write(T v) {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
+    arena_.publish(arena_.alloc(0, std::move(v)));
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_write();
+    }
+  }
+
+  // Space diagnostics: number of values ever written (incl. the initial).
+  // Monotone even though slots recycle.
+  std::size_t versions() const {
+    return static_cast<std::size_t>(arena_.stats().allocated);
+  }
+
+  reclaim::ReclaimStats reclaim_stats() const { return arena_.stats(); }
+
+  // The probe must outlive the register (or a detaching attach_probe(nullptr)
+  // call). Attach before concurrent use begins; the pointer itself is atomic,
+  // but the probe's metric handles are read without further synchronization.
+  void attach_probe(const obs::RtProbe* probe) {
+    probe_.store(probe, std::memory_order_release);
+  }
+
+  // The injector must outlive the register (or a detaching
+  // attach_injector(nullptr) call). Attach before concurrent use.
+  void attach_injector(fault::RtInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+ private:
+  mutable reclaim::VersionArena<T> arena_;
+  std::atomic<const obs::RtProbe*> probe_{nullptr};
+  std::atomic<fault::RtInjector*> injector_{nullptr};
+};
+
+// Multi-writer register with value-compared compare-and-swap over
+// arbitrarily large values, bounded-memory flavour. compare_exchange
+// compares the CURRENT VALUE with T's operator== — which must identify
+// distinct writes (distinct published values never compare equal; Stamped<T>
+// in snapshot/tree_scan.hpp is the standard recipe) — and succeeds via a CAS
+// on the arena control word. The caller's own acquire pins the expected
+// version, so the control-word compare cannot ABA (a held slot cannot be
+// retired, hence cannot be reallocated and re-published). A loser returns
+// its prepared slot to the free list immediately (failed-CAS cleanup).
+template <class T>
+class BoundedCASValueRegister {
+ public:
+  BoundedCASValueRegister(int num_writers, T initial)
+      : arena_(num_writers, std::move(initial)) {
+    APRAM_CHECK(num_writers >= 1);
+  }
+
+  BoundedCASValueRegister(const BoundedCASValueRegister&) = delete;
+  BoundedCASValueRegister& operator=(const BoundedCASValueRegister&) = delete;
+
+  // Any thread. Wait-free: acquire, copy, release.
+  T read() const {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
+    const auto ref = arena_.acquire();
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_hold();
+    }
+    T v = arena_.get(ref);
+    arena_.release(ref);
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_read();
+    }
+    return v;
+  }
+
+  // One atomic step by thread `pid`: if the current value equals `expected`
+  // (T's operator==), install `desired` and return true. The reader-side
+  // hold is released AFTER the install attempt (the ATOMSNAP CAS-ordering
+  // rule): the hold is what makes the install ABA-free.
+  bool compare_exchange(int pid, const T& expected, T desired) {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
+    const auto ref = arena_.acquire();
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_hold();
+    }
+    bool ok = arena_.get(ref) == expected;
+    if (ok) {
+      const std::uint32_t d = arena_.alloc(pid, std::move(desired));
+      ok = arena_.try_publish(ref, d);
+      if (!ok) arena_.dealloc(d);  // loser returns its slot immediately
+    }
+    arena_.release(ref);
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_cas(ok);
+    }
+    return ok;
+  }
+
+  // Space diagnostics: values ever prepared (incl. the initial; counts slots
+  // from failed swaps too). Monotone even though slots recycle.
+  std::size_t versions() const {
+    return static_cast<std::size_t>(arena_.stats().allocated);
+  }
+
+  reclaim::ReclaimStats reclaim_stats() const { return arena_.stats(); }
+
+  void attach_probe(const obs::RtProbe* probe) {
+    probe_.store(probe, std::memory_order_release);
+  }
+
+  void attach_injector(fault::RtInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+ private:
+  mutable reclaim::VersionArena<T> arena_;
+  std::atomic<const obs::RtProbe*> probe_{nullptr};
+  std::atomic<fault::RtInjector*> injector_{nullptr};
+};
+
+// ---------------------------------------------------------------------------
+// Unbounded registers: the paper's assumption, verbatim. Grow-only node
+// stores, nothing freed before destruction. std::deque guarantees reference
+// stability under push_back, and only the single writer touches the deque
+// structure, so reads race with nothing.
+// ---------------------------------------------------------------------------
+
+template <class T>
+class UnboundedSWMRRegister {
+ public:
+  explicit UnboundedSWMRRegister(T initial) {
     nodes_.push_back(std::move(initial));
     current_.store(&nodes_.back(), std::memory_order_release);
   }
 
-  SWMRRegister(const SWMRRegister&) = delete;
-  SWMRRegister& operator=(const SWMRRegister&) = delete;
+  UnboundedSWMRRegister(const UnboundedSWMRRegister&) = delete;
+  UnboundedSWMRRegister& operator=(const UnboundedSWMRRegister&) = delete;
 
-  // Any thread. Wait-free: one acquire load. The reference stays valid for
-  // the register's lifetime (nodes are immutable and never reclaimed).
-  const T& read() const {
+  // Any thread. Wait-free: one acquire load, then a copy of the immutable
+  // node (nodes are never reclaimed, so the dereference is always safe).
+  T read() const {
     if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
       inj->on_access();
     }
-    const T& v = *current_.load(std::memory_order_acquire);
+    T v = *current_.load(std::memory_order_acquire);
     if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
       p->on_read();
     }
@@ -77,15 +251,17 @@ class SWMRRegister {
   // Space diagnostics: number of values ever written (incl. the initial).
   std::size_t versions() const { return nodes_.size(); }
 
-  // The probe must outlive the register (or a detaching attach_probe(nullptr)
-  // call). Attach before concurrent use begins; the pointer itself is atomic,
-  // but the probe's metric handles are read without further synchronization.
+  // Nothing is recycled here; live == allocated by construction.
+  reclaim::ReclaimStats reclaim_stats() const {
+    reclaim::ReclaimStats s;
+    s.allocated = nodes_.size();
+    return s;
+  }
+
   void attach_probe(const obs::RtProbe* probe) {
     probe_.store(probe, std::memory_order_release);
   }
 
-  // The injector must outlive the register (or a detaching
-  // attach_injector(nullptr) call). Attach before concurrent use begins.
   void attach_injector(fault::RtInjector* injector) {
     injector_.store(injector, std::memory_order_release);
   }
@@ -97,10 +273,120 @@ class SWMRRegister {
   std::atomic<fault::RtInjector*> injector_{nullptr};
 };
 
+// Unbounded multi-writer register with value-compared CAS: one grow-only
+// node store per writer (writer `pid` appends only to store `pid`, so no
+// store is ever touched by two threads), swap done on the publication
+// pointer. Sound under the same operator==-identifies-writes contract as the
+// bounded flavour: published nodes are never recycled, so the pointer CAS
+// cannot ABA. Nodes from failed swaps stay in their writer's store — the
+// unbounded-register assumption again.
+template <class T>
+class UnboundedCASValueRegister {
+ public:
+  UnboundedCASValueRegister(int num_writers, T initial)
+      : initial_(std::move(initial)),
+        stores_(static_cast<std::size_t>(num_writers)) {
+    APRAM_CHECK(num_writers >= 1);
+    current_.store(&initial_, std::memory_order_release);
+  }
+
+  UnboundedCASValueRegister(const UnboundedCASValueRegister&) = delete;
+  UnboundedCASValueRegister& operator=(const UnboundedCASValueRegister&) =
+      delete;
+
+  // Any thread. Wait-free: one acquire load, then a copy.
+  T read() const {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
+    T v = *current_.load(std::memory_order_acquire);
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_read();
+    }
+    return v;
+  }
+
+  // One atomic step by thread `pid`: if the current value equals `expected`
+  // (T's operator==), install `desired` and return true. Wait-free — a
+  // failed pointer CAS is a failed operation, never a retry loop.
+  bool compare_exchange(int pid, const T& expected, T desired) {
+    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
+      inj->on_access();
+    }
+    const T* cur = current_.load(std::memory_order_acquire);
+    bool ok = *cur == expected;
+    if (ok) {
+      std::deque<T>& store = stores_[static_cast<std::size_t>(pid)].nodes;
+      store.push_back(std::move(desired));
+      ok = current_.compare_exchange_strong(cur, &store.back(),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire);
+    }
+    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
+      p->on_cas(ok);
+    }
+    return ok;
+  }
+
+  // Space diagnostics: values ever prepared (incl. the initial; counts nodes
+  // from failed swaps too).
+  std::size_t versions() const {
+    std::size_t total = 1;
+    for (const Store& s : stores_) total += s.nodes.size();
+    return total;
+  }
+
+  reclaim::ReclaimStats reclaim_stats() const {
+    reclaim::ReclaimStats s;
+    s.allocated = versions();
+    return s;
+  }
+
+  void attach_probe(const obs::RtProbe* probe) {
+    probe_.store(probe, std::memory_order_release);
+  }
+
+  void attach_injector(fault::RtInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+ private:
+  // Per-writer stores live on their own cache lines.
+  struct alignas(64) Store {
+    std::deque<T> nodes;
+  };
+
+  T initial_;
+  std::vector<Store> stores_;
+  std::atomic<const T*> current_;
+  std::atomic<const obs::RtProbe*> probe_{nullptr};
+  std::atomic<fault::RtInjector*> injector_{nullptr};
+};
+
+// ---------------------------------------------------------------------------
+// Default aliases: bounded-memory unless the build opts into exact
+// paper-mode with -DAPRAM_RT_UNBOUNDED (cmake -DAPRAM_RT_UNBOUNDED=ON).
+// Every rt algorithm and the api::RtBackend go through these names, so the
+// whole stack switches together with zero call-site changes.
+// ---------------------------------------------------------------------------
+
+#ifdef APRAM_RT_UNBOUNDED
+template <class T>
+using SWMRRegister = UnboundedSWMRRegister<T>;
+template <class T>
+using CASValueRegister = UnboundedCASValueRegister<T>;
+#else
+template <class T>
+using SWMRRegister = BoundedSWMRRegister<T>;
+template <class T>
+using CASValueRegister = BoundedCASValueRegister<T>;
+#endif
+
 // Multi-writer register with compare-and-swap — the building block for rt
 // structures that go beyond the paper's read/write base model (and the
 // source of kCas trace events). T must be trivially copyable and small
-// enough for the platform's lock-free std::atomic<T>.
+// enough for the platform's lock-free std::atomic<T>. No versioning, so no
+// reclamation needed: the value lives inline.
 template <class T>
 class CASRegister {
  public:
@@ -158,98 +444,6 @@ class CASRegister {
 
  private:
   std::atomic<T> v_;
-  std::atomic<const obs::RtProbe*> probe_{nullptr};
-  std::atomic<fault::RtInjector*> injector_{nullptr};
-};
-
-// Multi-writer register with compare-and-swap over arbitrarily large values
-// — CASRegister without the trivially-copyable restriction. Same
-// immutable-node publication trick as SWMRRegister, with one grow-only node
-// store per writer (writer `pid` appends only to store `pid`, so no store is
-// ever touched by two threads) and the swap done on the publication pointer.
-//
-// compare_exchange compares the CURRENT VALUE with T's operator==, not the
-// pointer — but succeeds via a pointer CAS. That is sound exactly when
-// operator== identifies distinct writes (distinct published values never
-// compare equal): then value-equality pins the pointer, published nodes are
-// never recycled, and the pointer CAS cannot ABA. Stamped<T> in
-// snapshot/tree_scan.hpp is the standard recipe. Nodes from failed swaps
-// stay in their writer's store — the unbounded-register assumption again;
-// versions() reports the total for space diagnostics.
-template <class T>
-class CASValueRegister {
- public:
-  CASValueRegister(int num_writers, T initial)
-      : initial_(std::move(initial)),
-        stores_(static_cast<std::size_t>(num_writers)) {
-    APRAM_CHECK(num_writers >= 1);
-    current_.store(&initial_, std::memory_order_release);
-  }
-
-  CASValueRegister(const CASValueRegister&) = delete;
-  CASValueRegister& operator=(const CASValueRegister&) = delete;
-
-  // Any thread. Wait-free: one acquire load. The reference stays valid for
-  // the register's lifetime.
-  const T& read() const {
-    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
-      inj->on_access();
-    }
-    const T& v = *current_.load(std::memory_order_acquire);
-    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
-      p->on_read();
-    }
-    return v;
-  }
-
-  // One atomic step by thread `pid`: if the current value equals `expected`
-  // (T's operator==), install `desired` and return true. Wait-free — a
-  // failed pointer CAS is a failed operation, never a retry loop.
-  bool compare_exchange(int pid, const T& expected, T desired) {
-    if (fault::RtInjector* inj = injector_.load(std::memory_order_relaxed)) {
-      inj->on_access();
-    }
-    const T* cur = current_.load(std::memory_order_acquire);
-    bool ok = *cur == expected;
-    if (ok) {
-      std::deque<T>& store =
-          stores_[static_cast<std::size_t>(pid)].nodes;
-      store.push_back(std::move(desired));
-      ok = current_.compare_exchange_strong(cur, &store.back(),
-                                            std::memory_order_acq_rel,
-                                            std::memory_order_acquire);
-    }
-    if (const obs::RtProbe* p = probe_.load(std::memory_order_relaxed)) {
-      p->on_cas(ok);
-    }
-    return ok;
-  }
-
-  // Space diagnostics: values ever prepared (incl. the initial; counts nodes
-  // from failed swaps too).
-  std::size_t versions() const {
-    std::size_t total = 1;
-    for (const Store& s : stores_) total += s.nodes.size();
-    return total;
-  }
-
-  void attach_probe(const obs::RtProbe* probe) {
-    probe_.store(probe, std::memory_order_release);
-  }
-
-  void attach_injector(fault::RtInjector* injector) {
-    injector_.store(injector, std::memory_order_release);
-  }
-
- private:
-  // Per-writer stores live on their own cache lines.
-  struct alignas(64) Store {
-    std::deque<T> nodes;
-  };
-
-  T initial_;
-  std::vector<Store> stores_;
-  std::atomic<const T*> current_;
   std::atomic<const obs::RtProbe*> probe_{nullptr};
   std::atomic<fault::RtInjector*> injector_{nullptr};
 };

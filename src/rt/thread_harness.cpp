@@ -35,7 +35,10 @@ std::vector<std::thread> launch_workers(
   for (int pid = 0; pid < num_threads; ++pid) {
     threads.emplace_back([barrier, &body, tracer, on_done, pid] {
       obs::set_thread_pid(pid);
-      obs::pin_this_shard(pid % obs::kMaxShards);
+      // Pass the raw pid: pin_this_shard owns the >= kMaxShards fallback
+      // (modulo sharing plus a warning and the pinning_degraded counter).
+      // Pre-clamping here would hide the degradation from obs.
+      obs::pin_this_shard(pid);
       obs::set_thread_span_tracer(tracer);
       barrier->ready.fetch_add(1, std::memory_order_relaxed);
       while (!barrier->go.load(std::memory_order_acquire)) {
@@ -75,9 +78,9 @@ void run_with_stall(int num_threads, const std::function<void(int)>& body,
                     fault::RtInjector& injector, int victim,
                     std::uint64_t stall_after,
                     const std::function<void()>& while_stalled,
-                    obs::Tracer* tracer) {
+                    obs::Tracer* tracer, fault::StallPoint point) {
   APRAM_CHECK(victim >= 0 && victim < num_threads);
-  injector.arm_stall(victim, stall_after);
+  injector.arm_stall(victim, stall_after, point);
 
   std::atomic<bool> victim_done{false};
   std::vector<std::thread> threads = launch_workers(

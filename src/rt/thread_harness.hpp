@@ -32,6 +32,11 @@ void parallel_run(int num_threads, const std::function<void(int)>& body,
 // crash semantics — runs `while_stalled()` on the calling thread against
 // the victim's half-finished state, releases the stall, and joins.
 //
+// `point` selects where the victim parks: at the top of an access (the
+// default) or mid-read between version acquire and dereference
+// (fault::StallPoint::kHold) — the latter pins a version of a bounded
+// register for the whole while_stalled() window.
+//
 // The injector must already be attached to the registers the bodies use.
 // while_stalled executes on the caller, which has no model pid, so its own
 // register accesses pass through the injector uninjected.
@@ -39,7 +44,8 @@ void run_with_stall(int num_threads, const std::function<void(int)>& body,
                     fault::RtInjector& injector, int victim,
                     std::uint64_t stall_after,
                     const std::function<void()>& while_stalled,
-                    obs::Tracer* tracer = nullptr);
+                    obs::Tracer* tracer = nullptr,
+                    fault::StallPoint point = fault::StallPoint::kAccess);
 
 // Cooperative stop flag + per-thread op counters for throughput runs:
 // threads loop `while (!stop)` calling the operation under test; the main

@@ -290,6 +290,14 @@ class LatticeScanRT {
     mem_.attach_injector(injector);
   }
 
+  // Reclamation accounting over the whole scan matrix; exact at quiescence
+  // (see api::RtBackend::Mem::reclaim_stats / export_reclaim_gauges).
+  reclaim::ReclaimStats reclaim_stats() const { return mem_.reclaim_stats(); }
+  void export_reclaim_gauges(obs::Registry& registry,
+                             const std::string& name) const {
+    mem_.export_reclaim_gauges(registry, name);
+  }
+
  private:
   api::RtBackend::Mem mem_;
   snapshot::LatticeScan<api::RtBackend, L> impl_;
@@ -331,6 +339,14 @@ class AtomicSnapshotRT {
 
   void attach_injector(fault::RtInjector* injector) {
     scan_.attach_injector(injector);
+  }
+
+  reclaim::ReclaimStats reclaim_stats() const {
+    return scan_.reclaim_stats();
+  }
+  void export_reclaim_gauges(obs::Registry& registry,
+                             const std::string& name) const {
+    scan_.export_reclaim_gauges(registry, name);
   }
 
   std::vector<std::optional<T>> update_and_scan(int p, T v) {

@@ -332,13 +332,21 @@ class TreeScanRT {
     return impl_.update_and_scan(api::RtBackend::Ctx{p}, std::move(v)).get();
   }
 
-  // See api::RtBackend::Mem::attach_obs / attach_injector.
+  // See api::RtBackend::Mem::attach_obs / attach_injector /
+  // reclaim_stats / export_reclaim_gauges.
   void attach_obs(obs::Registry& registry, const std::string& name,
                   obs::Tracer* tracer = nullptr) {
     mem_.attach_obs(registry, name, tracer);
   }
   void attach_injector(fault::RtInjector* injector) {
     mem_.attach_injector(injector);
+  }
+  rt::reclaim::ReclaimStats reclaim_stats() const {
+    return mem_.reclaim_stats();
+  }
+  void export_reclaim_gauges(obs::Registry& registry,
+                             const std::string& name) const {
+    mem_.export_reclaim_gauges(registry, name);
   }
 
  private:
@@ -370,6 +378,13 @@ class TreeSnapshotRT {
   }
   void attach_injector(fault::RtInjector* injector) {
     mem_.attach_injector(injector);
+  }
+  rt::reclaim::ReclaimStats reclaim_stats() const {
+    return mem_.reclaim_stats();
+  }
+  void export_reclaim_gauges(obs::Registry& registry,
+                             const std::string& name) const {
+    mem_.export_reclaim_gauges(registry, name);
   }
 
  private:

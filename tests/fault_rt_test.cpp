@@ -128,6 +128,48 @@ TEST(RunWithStall, VictimParksAfterExactlyItsQuotaThenResumes) {
   EXPECT_EQ(inj.accesses(0), 100u);
 }
 
+TEST(RunWithStall, HoldPointParksTheReaderWithItsVersionPinned) {
+  // The kHold stall point parks the victim BETWEEN version acquire and
+  // dereference — the exact window a reclamation bug would need to free a
+  // held version. The victim's read completes only after release_stall(),
+  // yet must return the value that was current when it parked, fully
+  // intact, no matter how many writes landed in between.
+  fault::RtInjector inj(fault::RtInjectOptions{});
+  SWMRRegister<std::vector<int>> reg(std::vector<int>(32, 7));
+  reg.attach_injector(&inj);
+  std::vector<int> victim_saw;
+  run_with_stall(
+      /*num_threads=*/1,
+      [&](int) { victim_saw = reg.read(); },
+      inj, /*victim=*/0, /*stall_after=*/0,
+      [&] {
+        for (int i = 1; i <= 50; ++i) reg.write(std::vector<int>(32, i));
+      },
+      /*tracer=*/nullptr, fault::StallPoint::kHold);
+  // Bounded build: the victim parked pre-dereference holding version 7 and
+  // read it after the churn. Unbounded build: on_hold never fires, the
+  // victim finishes first (completion wins) and sees version 7 trivially.
+  ASSERT_EQ(victim_saw.size(), 32u);
+  for (int v : victim_saw) EXPECT_EQ(v, 7);
+  EXPECT_EQ(reg.read()[0], 50);
+}
+
+TEST(RunWithStall, HoldStallLeavesAccessAccountingExact) {
+  // on_hold must not count as an access: a victim parked at the hold point
+  // of its 3rd read still reports exactly its access count.
+  fault::RtInjector inj(fault::RtInjectOptions{});
+  SWMRRegister<int> reg(0);
+  reg.attach_injector(&inj);
+  run_with_stall(
+      /*num_threads=*/1,
+      [&](int) {
+        for (int i = 0; i < 10; ++i) (void)reg.read();
+      },
+      inj, /*victim=*/0, /*stall_after=*/2, [] {},
+      /*tracer=*/nullptr, fault::StallPoint::kHold);
+  EXPECT_EQ(inj.accesses(0), 10u);
+}
+
 TEST(RunWithStall, CompletionWinsWhenVictimFinishesUnderThreshold) {
   fault::RtInjector inj(fault::RtInjectOptions{});
   SWMRRegister<int> reg(0);

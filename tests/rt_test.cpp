@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "agreement/approx_spec.hpp"
+#include "obs/metrics.hpp"
 #include "rt/approx_agreement_rt.hpp"
 #include "rt/double_collect_rt.hpp"
 #include "rt/fast_counter_rt.hpp"
+#include "rt/reclaim.hpp"
 #include "snapshot/lattice_scan.hpp"
 #include "rt/register.hpp"
 #include "rt/thread_harness.hpp"
@@ -58,6 +60,93 @@ TEST(SWMRRegister, ConcurrentReadersSeeSomeWrittenValue) {
   });
   EXPECT_EQ(seen_bad[1], 0u);
   EXPECT_EQ(seen_bad[2], 0u);
+}
+
+// --------------------------------------------------------- reclamation ----
+
+TEST(VersionArena, HeldVersionSurvivesAHundredPublishes) {
+  reclaim::VersionArena<std::string> arena(1, "v0");
+  const auto ref = arena.acquire();
+  for (int i = 1; i <= 100; ++i) {
+    arena.publish(arena.alloc(0, "v" + std::to_string(i)));
+  }
+  // The pin: 100 publications later the acquired version is still intact.
+  EXPECT_EQ(arena.get(ref), "v0");
+  const auto held = arena.stats();
+  EXPECT_EQ(held.allocated, 101u);
+  EXPECT_EQ(held.live_versions(), 2u);  // the pin + the published version
+  EXPECT_GE(held.recycled, 98u);        // everything else recycled around it
+
+  arena.release(ref);  // last holder out retires the pinned version
+  EXPECT_EQ(arena.stats().live_versions(), 1u);
+  EXPECT_EQ(arena.stats().retired, held.retired + 1);
+}
+
+TEST(VersionArena, DeallocReturnsTheSlotForImmediateReuse) {
+  reclaim::VersionArena<int> arena(1, 0);
+  const auto before = arena.stats();
+  const std::uint32_t a = arena.alloc(0, 1);
+  arena.dealloc(a);  // the failed-CAS cleanup path
+  const std::uint32_t b = arena.alloc(0, 2);
+  EXPECT_EQ(a, b);  // LIFO free list hands the same slot back
+  EXPECT_EQ(arena.stats().recycled - before.recycled, 1u);
+  arena.dealloc(b);
+  EXPECT_EQ(arena.stats().live_versions(), 1u);  // just the published initial
+}
+
+TEST(SWMRRegister, MemoryStaysBoundedAcrossManyWrites) {
+  SWMRRegister<std::vector<int>> reg(std::vector<int>(8, 0));
+  for (int i = 1; i <= 1000; ++i) reg.write(std::vector<int>(8, i));
+  EXPECT_EQ(reg.read()[0], 1000);
+  EXPECT_EQ(reg.versions(), 1001u);
+#ifndef APRAM_RT_UNBOUNDED
+  const auto s = reg.reclaim_stats();
+  EXPECT_LE(s.live_versions(), 2u);  // memory ∝ holders, not writes
+  EXPECT_GE(s.recycled, 990u);
+#endif
+}
+
+TEST(CASValueRegister, FailedValueCompareAllocatesNothing) {
+  CASValueRegister<int> reg(2, 10);
+  const auto before = reg.reclaim_stats();
+  EXPECT_FALSE(reg.compare_exchange(1, /*expected=*/99, 5));
+  EXPECT_EQ(reg.read(), 10);
+  EXPECT_EQ(reg.reclaim_stats().allocated, before.allocated);
+}
+
+TEST(CASValueRegister, SuccessfulSwapsRecycleSupersededVersions) {
+  CASValueRegister<int> reg(1, 0);
+  for (int i = 1; i <= 200; ++i) {
+    EXPECT_TRUE(reg.compare_exchange(0, i - 1, i));
+  }
+  EXPECT_EQ(reg.read(), 200);
+#ifndef APRAM_RT_UNBOUNDED
+  EXPECT_LE(reg.reclaim_stats().live_versions(), 2u);
+#endif
+}
+
+TEST(UnboundedRegisters, PaperModeKeepsEveryVersion) {
+  // The escape-hatch classes are always compiled (APRAM_RT_UNBOUNDED only
+  // flips which ones the default aliases name).
+  UnboundedSWMRRegister<int> reg(0);
+  for (int i = 1; i <= 10; ++i) reg.write(i);
+  EXPECT_EQ(reg.read(), 10);
+  EXPECT_EQ(reg.versions(), 11u);
+  EXPECT_EQ(reg.reclaim_stats().live_versions(), 11u);  // nothing reclaimed
+
+  UnboundedCASValueRegister<int> cas(2, 0);
+  EXPECT_TRUE(cas.compare_exchange(0, 0, 1));
+  EXPECT_FALSE(cas.compare_exchange(1, 0, 2));  // stale expected
+  EXPECT_EQ(cas.read(), 1);
+  EXPECT_EQ(cas.versions(), 2u);  // initial + the one successful swap
+}
+
+TEST(ThreadHarness, PinningBeyondShardCapIsCountedNotSilent) {
+  const std::uint64_t before = obs::pinning_degraded();
+  // kMaxShards+2 workers: the two clamped pins must be visible in the
+  // counter (and warn once on stderr), not just a debug-build assert.
+  parallel_run(obs::kMaxShards + 2, [](int) {});
+  EXPECT_GE(obs::pinning_degraded() - before, 2u);
 }
 
 TEST(ThreadHarness, ParallelRunRunsEveryPid) {
