@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "algebra/spec.hpp"
-#include "graph/lingraph.hpp"
+#include "core/universal_linearize.hpp"
 #include "obs/span.hpp"
 #include "snapshot/atomic_snapshot.hpp"
 
@@ -127,65 +127,9 @@ class UniversalObjectSim {
   // Collects the entries reachable from `view`, builds the precedence DAG
   // (direct `preceding` edges; reachability supplies the rest), applies the
   // Figure 3 construction, and returns the entries in linearization order.
+  // Shared with universal2::PaperUniversal via core/universal_linearize.hpp.
   Linearized linearize_view(const SnapshotView<const Entry*>& view) const {
-    // Discover reachable entries.
-    std::vector<const Entry*> stack;
-    std::map<const Entry*, int> seen;  // entry -> discovery marker
-    for (const auto& slot : view) {
-      if (slot.has_value() && *slot != nullptr && !seen.count(*slot)) {
-        seen.emplace(*slot, 0);
-        stack.push_back(*slot);
-      }
-    }
-    std::vector<const Entry*> nodes;
-    while (!stack.empty()) {
-      const Entry* e = stack.back();
-      stack.pop_back();
-      nodes.push_back(e);
-      for (const Entry* pred : e->preceding) {
-        if (pred != nullptr && !seen.count(pred)) {
-          seen.emplace(pred, 0);
-          stack.push_back(pred);
-        }
-      }
-    }
-
-    // Canonical node order: by (pid, seq). Stable across processes and
-    // replays, so identical views linearize identically everywhere.
-    std::sort(nodes.begin(), nodes.end(),
-              [](const Entry* a, const Entry* b) {
-                return std::make_pair(a->pid, a->seq) <
-                       std::make_pair(b->pid, b->seq);
-              });
-    std::map<const Entry*, int> index;
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      index.emplace(nodes[i], static_cast<int>(i));
-    }
-
-    // Precedence DAG from the direct preceding pointers.
-    Digraph prec(static_cast<int>(nodes.size()));
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      for (const Entry* pred : nodes[i]->preceding) {
-        if (pred == nullptr) continue;
-        const int pi = index.at(pred);
-        if (pi != static_cast<int>(i) &&
-            !prec.has_edge(pi, static_cast<int>(i))) {
-          prec.add_edge(pi, static_cast<int>(i));
-        }
-      }
-    }
-
-    const std::vector<int> order =
-        linearize(prec, [&](int a, int b) {
-          const Entry* ea = nodes[static_cast<std::size_t>(a)];
-          const Entry* eb = nodes[static_cast<std::size_t>(b)];
-          return dominates<S>(ea->inv, ea->pid, eb->inv, eb->pid);
-        });
-
-    Linearized lin;
-    lin.entries.reserve(order.size());
-    for (int i : order) lin.entries.push_back(nodes[static_cast<std::size_t>(i)]);
-    return lin;
+    return Linearized{linearize_entries<S, Entry>(view)};
   }
 
   // Runs the sequential spec over a linearized history.

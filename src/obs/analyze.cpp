@@ -327,11 +327,26 @@ BoundReport check_agreement_bound(const TraceAnalysis& a, double log_ratio,
   return report;
 }
 
+BoundReport check_u2_help_bound(const TraceAnalysis& a, int n) {
+  const int nn = effective_n(a, n);
+  BoundReport report{.name = "u2_help", .formula = bound_formula("u2_help")};
+  APRAM_CHECK_MSG(nn >= 1, "u2_help bound needs n >= 1");
+  const std::uint64_t bound = static_cast<std::uint64_t>(nn) - 1;
+  for (OpKind kind : {OpKind::kU2Execute, OpKind::kU2Insert,
+                      OpKind::kU2Remove, OpKind::kU2Contains}) {
+    check_ops(a, kind, report, [&](const OpStats& s, BoundReport& r) {
+      if (s.helps > bound) violation(r, s, "helps", s.helps, bound, nn);
+    });
+  }
+  return report;
+}
+
 std::string bound_formula(const std::string& name) {
   if (name == "scan") return "n^2-1";
   if (name == "tree_update") return "1+8ceil(log2n)";
   if (name == "tree_scan") return "1";
   if (name == "agreement") return "(2n+1)(log2(delta/eps)+3)+8n";
+  if (name == "u2_help") return "n-1";
   return "";
 }
 

@@ -12,6 +12,9 @@
 //   agreement   Theorem 5: an output() finishes within
 //               (2n+1)·(log2(Δ/ε)+3) + 8n accesses — the exact slackened
 //               constant tests/agreement_test.cpp asserts
+//   u2_help     universal2's help discipline: a complete operation emits at
+//               most n−1 kHelp events (one per distinct helped process;
+//               WaitFreeSim dedups per own-op epoch and never helps itself)
 //
 // Truncation discipline: an op whose kOpBegin was overwritten in the ring
 // (marked kTruncated by the Tracer) or never closed has an under-counted
@@ -98,6 +101,9 @@ BoundReport check_tree_scan_bound(const TraceAnalysis& a);
 // `log_ratio` is log2(Δ/ε) of the agreement instance being checked.
 BoundReport check_agreement_bound(const TraceAnalysis& a, double log_ratio,
                                   int n = 0);
+// Checks every complete universal2 operation (kU2Execute / kU2Insert /
+// kU2Remove / kU2Contains) for helps <= n-1.
+BoundReport check_u2_help_bound(const TraceAnalysis& a, int n = 0);
 
 // Canonical formula for a bound name ("scan" → "n^2-1"); empty for unknown
 // names. The CLI accepts `--bound name=formula` and requires the formula,

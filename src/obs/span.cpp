@@ -28,6 +28,14 @@ const char* op_kind_name(OpKind k) {
       return "execute";
     case OpKind::kUser:
       return "user";
+    case OpKind::kU2Execute:
+      return "u2_execute";
+    case OpKind::kU2Insert:
+      return "u2_insert";
+    case OpKind::kU2Remove:
+      return "u2_remove";
+    case OpKind::kU2Contains:
+      return "u2_contains";
   }
   return "?";
 }
@@ -37,7 +45,8 @@ OpKind op_kind_from_name(const std::string& name) {
       OpKind::kNone,   OpKind::kScan,       OpKind::kWriteL,
       OpKind::kReadMax, OpKind::kPost,      OpKind::kTreeUpdate,
       OpKind::kTreeScan, OpKind::kInput,    OpKind::kOutput,
-      OpKind::kExecute, OpKind::kUser,
+      OpKind::kExecute, OpKind::kUser,      OpKind::kU2Execute,
+      OpKind::kU2Insert, OpKind::kU2Remove, OpKind::kU2Contains,
   };
   for (OpKind k : kAll) {
     if (name == op_kind_name(k)) return k;
@@ -62,6 +71,10 @@ const char* phase_name(Phase p) {
       return "publish";
     case Phase::kUser:
       return "user";
+    case Phase::kFastPath:
+      return "fast_path";
+    case Phase::kSlowPath:
+      return "slow_path";
   }
   return "?";
 }

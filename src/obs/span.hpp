@@ -48,6 +48,12 @@ enum class OpKind : std::uint8_t {
   kOutput,      // Figure 2 output() (Theorem 5 bound)
   kExecute,     // universal construction execute() (Figure 4)
   kUser,        // free-form
+  // universal2 (normalized fast/slow-path simulator). Appended after kUser
+  // so the serialized numbers of the older kinds stay stable in traces.
+  kU2Execute,   // universal2 one-shot object operation (e.g. counter)
+  kU2Insert,    // universal2 sorted-set insert
+  kU2Remove,    // universal2 sorted-set remove
+  kU2Contains,  // universal2 sorted-set contains (fast-path only)
 };
 
 const char* op_kind_name(OpKind k);
@@ -63,6 +69,10 @@ enum class Phase : std::uint8_t {
   kRound,          // one Figure 2 output-loop iteration
   kPublish,        // the anchor write of the universal construction
   kUser,
+  // universal2 phases (appended — see the OpKind note above). The phase
+  // index carries the attempt number on the fast path.
+  kFastPath,       // one lock-free fast-path attempt (prepare + decision CAS)
+  kSlowPath,       // entered the help queue (announce + help-until-done)
 };
 
 const char* phase_name(Phase p);

@@ -15,4 +15,13 @@ inline constexpr std::uint64_t kCampaignBaseSeeds[] = {
 inline constexpr int kNumCampaignBaseSeeds =
     static_cast<int>(sizeof(kCampaignBaseSeeds) / sizeof(std::uint64_t));
 
+// universal2 (normalized fast/slow-path simulator) campaigns — crash/stall
+// plans aimed at helpers and the help-queue head.
+inline constexpr std::uint64_t kU2CampaignSeeds[] = {
+    0x5eed1001, 0x5eed1002, 0x5eed1003,
+};
+
+inline constexpr int kNumU2CampaignSeeds =
+    static_cast<int>(sizeof(kU2CampaignSeeds) / sizeof(std::uint64_t));
+
 }  // namespace apram::fault_seeds

@@ -1,0 +1,750 @@
+// universal2 — the normalized fast-path/slow-path wait-free simulator
+// (WaitFreeSim + HelpQueue) and its two clients, exercised across the
+// repo's verification tiers:
+//
+//   * sequential semantics for Counter2 and SortedSet (sim, solo runs)
+//   * exact fast-path step counts (counter mutation = 1 read + 1 CAS)
+//   * the help-first discipline's periodic queue peek, priced exactly
+//   * HelpQueue FIFO order, (stamp, pid) tie-break, retraction
+//   * forced-slow-path runs (max_fast_attempts = 0) where every mutation
+//     goes through announce → help → retire, including self-help solo
+//   * randomized adversaries: concurrent counters sum exactly, concurrent
+//     set operations keep membership consistent with the response history
+//   * exhaustive schedule enumeration for inc-vs-read and enqueue-vs-enqueue
+//   * crash injection: an enqueuer dying mid-publish either left no trace
+//     or is completed by a helper — never a half-applied operation
+//   * sim-vs-rt parity: the same template over both backends performs the
+//     same register accesses; rt storms agree with the sequential spec
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "api/rt_backend.hpp"
+#include "api/sim_backend.hpp"
+#include "obs/analyze.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rt/thread_harness.hpp"
+#include "sim/explore.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/world.hpp"
+#include "universal2/counter_rep.hpp"
+#include "universal2/help_queue.hpp"
+#include "universal2/linked_list.hpp"
+#include "universal2/rt.hpp"
+
+namespace apram::universal2 {
+namespace {
+
+using sim::Context;
+using sim::Execution;
+using sim::ProcessTask;
+using sim::World;
+
+using SimCounter = Counter2<api::SimBackend>;
+using SimSet = SortedSet<api::SimBackend>;
+using SimQueue = HelpQueue<api::SimBackend, int>;
+
+// ---------------------------------------------------------------------------
+// Counter: sequential semantics (sim, solo runs)
+// ---------------------------------------------------------------------------
+
+TEST(U2Counter, SoloSequentialSemantics) {
+  const int n = 4;
+  World w(n);
+  api::SimBackend::Mem mem(w, "u2");
+  SimCounter c(mem, n, "c");
+  std::int64_t got = -1;
+  w.spawn(0, [&](Context ctx) -> ProcessTask {
+    std::int64_t r = co_await c.inc(ctx, 5);
+    EXPECT_EQ(r, 0);  // mutators respond 0 (CounterSpec)
+    co_await c.inc(ctx, 2);
+    co_await c.dec(ctx, 3);
+    got = co_await c.read(ctx);
+  });
+  w.run_solo(0);
+  EXPECT_EQ(got, 4);
+
+  // Another process sees the same object; reset overwrites everything.
+  w.spawn(1, [&](Context ctx) -> ProcessTask {
+    co_await c.reset(ctx, 10);
+    got = co_await c.read(ctx);
+  });
+  w.run_solo(1);
+  EXPECT_EQ(got, 10);
+  for (int p = 0; p < n; ++p) {
+    EXPECT_EQ(c.sim().slow_path_entries(p), 0u) << "pid " << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step counts: the uncontended fast path is O(1) — the whole point of the
+// normalized construction, and the gap bench_e6 measures against the
+// paper's O(n²) scan-per-op universal object.
+// ---------------------------------------------------------------------------
+
+TEST(U2Counter, UncontendedFastPathIsOneReadPlusOneCas) {
+  for (int n : {2, 4, 8, 16}) {
+    World w(n);
+    api::SimBackend::Mem mem(w, "u2");
+    SimCounter::Config cfg;
+    cfg.help_period = 0;  // isolate the rep's own cost
+    SimCounter c(mem, n, "c", cfg);
+
+    const auto before = w.counts(0);
+    w.spawn(0, [&](Context ctx) -> ProcessTask { co_await c.inc(ctx); });
+    w.run_solo(0);
+    const auto mid = w.counts(0);
+    EXPECT_EQ(mid.total() - before.total(), 2u) << "n=" << n;
+    EXPECT_EQ(mid.reads - before.reads, 1u) << "n=" << n;
+
+    w.spawn(0, [&](Context ctx) -> ProcessTask { (void)co_await c.read(ctx); });
+    w.run_solo(0);
+    const auto after = w.counts(0);
+    EXPECT_EQ(after.total() - mid.total(), 1u) << "n=" << n;  // read: 1 read
+    EXPECT_EQ(c.sim().slow_path_entries(0), 0u);
+  }
+}
+
+TEST(U2Counter, HelpPeriodAddsOneQueuePeekEveryKthOp) {
+  const int n = 8;
+  World w(n);
+  api::SimBackend::Mem mem(w, "u2");
+  SimCounter::Config cfg;
+  cfg.help_period = 4;
+  SimCounter c(mem, n, "c", cfg);
+
+  // Ops 1 and 5 peek (ops_started ≡ 0 mod 4): n extra reads on an empty
+  // queue. Ops 2–4 are pure fast path.
+  const std::uint64_t expected[] = {static_cast<std::uint64_t>(n) + 2, 2, 2,
+                                    2, static_cast<std::uint64_t>(n) + 2};
+  for (const std::uint64_t want : expected) {
+    const auto before = w.counts(0);
+    w.spawn(0, [&](Context ctx) -> ProcessTask { co_await c.inc(ctx); });
+    w.run_solo(0);
+    const auto after = w.counts(0);
+    EXPECT_EQ(after.total() - before.total(), want);
+  }
+  std::int64_t got = -1;
+  w.spawn(0, [&](Context ctx) -> ProcessTask { got = co_await c.read(ctx); });
+  w.run_solo(0);
+  EXPECT_EQ(got, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Forced slow path: max_fast_attempts = 0 sends every mutation through
+// announce → help → retire. Solo, the announcer helps itself to completion
+// (nobody else is scheduled), so this exercises the full state machine.
+// ---------------------------------------------------------------------------
+
+TEST(U2Counter, ForcedSlowPathCompletesBySelfHelp) {
+  const int n = 4;
+  World w(n);
+  api::SimBackend::Mem mem(w, "u2");
+  SimCounter::Config cfg;
+  cfg.max_fast_attempts = 0;
+  SimCounter c(mem, n, "c", cfg);
+  std::int64_t got = -1;
+  w.spawn(0, [&](Context ctx) -> ProcessTask {
+    co_await c.inc(ctx, 7);
+    co_await c.dec(ctx, 2);
+    got = co_await c.read(ctx);
+  });
+  w.run_solo(0);
+  EXPECT_EQ(got, 5);
+  EXPECT_EQ(c.sim().slow_path_entries(0), 2u);  // both mutations; read is fast
+
+  // The announce was retracted and the state record retired.
+  EXPECT_FALSE(c.sim().queue().cell_at(0).peek().active);
+  EXPECT_EQ(static_cast<int>(c.sim().state_at(0).peek().stage),
+            static_cast<int>(SimCounter::Sim::Stage::kIdle));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency under randomized adversaries: final value is the exact sum,
+// whatever the interleaving — including with the slow path forced on.
+// ---------------------------------------------------------------------------
+
+TEST(U2Counter, ConcurrentIncrementsSumExactlyUnderRandomSchedules) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (const double sticky : {0.0, 0.5}) {
+      const int n = 4;
+      const int kOps = 3;
+      World w(n);
+      api::SimBackend::Mem mem(w, "u2");
+      SimCounter c(mem, n, "c");
+      for (int pid = 0; pid < n; ++pid) {
+        w.spawn(pid, [&, pid](Context ctx) -> ProcessTask {
+          for (int i = 0; i < kOps; ++i) {
+            co_await c.inc(ctx, pid + 1);
+          }
+        });
+      }
+      sim::RandomScheduler rs(seed, sticky);
+      ASSERT_TRUE(w.run(rs).all_done);
+      std::int64_t got = -1;
+      w.spawn(0, [&](Context ctx) -> ProcessTask {
+        got = co_await c.read(ctx);
+      });
+      w.run_solo(0);
+      EXPECT_EQ(got, kOps * (1 + 2 + 3 + 4))
+          << "seed=" << seed << " sticky=" << sticky;
+    }
+  }
+}
+
+TEST(U2Counter, ForcedSlowPathSumsExactlyAndAllRecordsRetire) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const int n = 4;
+    const int kOps = 3;
+    World w(n);
+    api::SimBackend::Mem mem(w, "u2");
+    SimCounter::Config cfg;
+    cfg.max_fast_attempts = 0;  // every inc announces; helpers race
+    cfg.help_period = 1;        // and every op helps first
+    SimCounter c(mem, n, "c", cfg);
+    for (int pid = 0; pid < n; ++pid) {
+      w.spawn(pid, [&, pid](Context ctx) -> ProcessTask {
+        for (int i = 0; i < kOps; ++i) {
+          co_await c.inc(ctx, 1);
+        }
+      });
+    }
+    sim::RandomScheduler rs(seed, 0.3);
+    ASSERT_TRUE(w.run(rs).all_done);
+    std::int64_t got = -1;
+    w.spawn(0, [&](Context ctx) -> ProcessTask {
+      got = co_await c.read(ctx);
+    });
+    w.run_solo(0);
+    EXPECT_EQ(got, n * kOps) << "seed=" << seed;
+    for (int p = 0; p < n; ++p) {
+      EXPECT_EQ(c.sim().slow_path_entries(p),
+                static_cast<std::uint64_t>(kOps));
+      EXPECT_FALSE(c.sim().queue().cell_at(p).peek().active) << "pid " << p;
+      EXPECT_EQ(static_cast<int>(c.sim().state_at(p).peek().stage),
+                static_cast<int>(SimCounter::Sim::Stage::kIdle))
+          << "pid " << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HelpQueue: FIFO by (stamp, pid), bounded cost, retraction.
+// ---------------------------------------------------------------------------
+
+TEST(U2HelpQueue, FifoOrderAndRetraction) {
+  const int n = 4;
+  World w(n);
+  api::SimBackend::Mem mem(w, "u2");
+  SimQueue q(mem, n, "q");
+
+  auto announce = [&](int pid, int op) {
+    w.spawn(pid, [&, pid, op](Context ctx) -> ProcessTask {
+      co_await q.enqueue(ctx, 1, op);
+    });
+    w.run_solo(pid);
+  };
+  auto head_pid = [&]() {
+    int got = -1;
+    w.spawn(1, [&](Context ctx) -> ProcessTask {
+      std::optional<SimQueue::Head> h = co_await q.peek(ctx);
+      got = h.has_value() ? h->pid : -1;
+    });
+    w.run_solo(1);
+    return got;
+  };
+  auto retract = [&](int pid) {
+    w.spawn(pid, [&, pid](Context ctx) -> ProcessTask {
+      co_await q.dequeue(ctx);
+    });
+    w.run_solo(pid);
+  };
+
+  EXPECT_EQ(head_pid(), -1);  // empty
+  announce(2, 22);            // stamps: 2 → 1
+  announce(0, 10);            //         0 → 2
+  announce(3, 33);            //         3 → 3
+  EXPECT_EQ(head_pid(), 2);   // FIFO: announce order, not pid order
+  retract(2);
+  EXPECT_EQ(head_pid(), 0);
+  retract(0);
+  EXPECT_EQ(head_pid(), 3);
+  retract(3);
+  EXPECT_EQ(head_pid(), -1);
+
+  // Bounded cost: enqueue = n+2 accesses (bakery scan + own read + CAS),
+  // peek = n reads, dequeue = 2.
+  const auto before = w.counts(0);
+  announce(0, 1);
+  const auto mid = w.counts(0);
+  EXPECT_EQ(mid.total() - before.total(), static_cast<std::uint64_t>(n) + 2);
+  retract(0);
+  const auto after = w.counts(0);
+  EXPECT_EQ(after.total() - mid.total(), 2u);
+}
+
+// Exhaustive: two concurrent enqueuers, every interleaving. The head is
+// always the active announce with minimum (stamp, pid); equal stamps (both
+// scanned before either installed) break toward the lower pid.
+struct QueuePairExec final : Execution {
+  QueuePairExec() : w(2), mem(w, "u2"), q(mem, 2, "q") {
+    w.spawn(0, [this](Context ctx) -> ProcessTask {
+      co_await q.enqueue(ctx, 1, 10);
+    });
+    w.spawn(1, [this](Context ctx) -> ProcessTask {
+      co_await q.enqueue(ctx, 1, 20);
+    });
+  }
+  World& world() override { return w; }
+  World w;
+  api::SimBackend::Mem mem;
+  SimQueue q;
+};
+
+TEST(U2HelpQueueExplore, HeadIsTheMinStampPidOnEverySchedule) {
+  const auto stats = sim::explore_all_schedules(
+      [] { return std::make_unique<QueuePairExec>(); },
+      [&](Execution& e, const std::vector<int>&) {
+        auto& x = static_cast<QueuePairExec&>(e);
+        const auto c0 = x.q.cell_at(0).peek();
+        const auto c1 = x.q.cell_at(1).peek();
+        ASSERT_TRUE(c0.active && c1.active);
+        // Stamps are 1 and 2 (serialized scans) or 1 and 1 (overlapping).
+        ASSERT_GE(c0.stamp, 1u);
+        ASSERT_GE(c1.stamp, 1u);
+        ASSERT_LE(c0.stamp + c1.stamp, 3u);
+        const int head = (c1.stamp < c0.stamp) ? 1 : 0;  // pid tie-break
+        int got = -1;
+        x.w.spawn(0, [&x, &got](Context ctx) -> ProcessTask {
+          std::optional<SimQueue::Head> h = co_await x.q.peek(ctx);
+          got = h.has_value() ? h->pid : -1;
+        });
+        x.w.run_solo(0);
+        ASSERT_EQ(got, head);
+      });
+  EXPECT_GT(stats.executions, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Counter explore: one inc racing one read — every schedule yields a
+// linearizable outcome (read sees 0 or 1; the inc is applied exactly once).
+// ---------------------------------------------------------------------------
+
+struct CounterIncReadExec final : Execution {
+  CounterIncReadExec() : w(2), mem(w, "u2") {
+    SimCounter::Config cfg;
+    cfg.help_period = 0;  // smallest schedule space: pure fast path
+    c = std::make_unique<SimCounter>(mem, 2, "c", cfg);
+    w.spawn(0, [this](Context ctx) -> ProcessTask {
+      co_await c->inc(ctx);
+    });
+    w.spawn(1, [this](Context ctx) -> ProcessTask {
+      seen = co_await c->read(ctx);
+    });
+  }
+  World& world() override { return w; }
+  World w;
+  api::SimBackend::Mem mem;
+  std::unique_ptr<SimCounter> c;
+  std::int64_t seen = -1;
+};
+
+TEST(U2CounterExplore, IncVsReadIsLinearizableOnEverySchedule) {
+  const auto stats = sim::explore_all_schedules(
+      [] { return std::make_unique<CounterIncReadExec>(); },
+      [&](Execution& e, const std::vector<int>&) {
+        auto& x = static_cast<CounterIncReadExec&>(e);
+        ASSERT_TRUE(x.seen == 0 || x.seen == 1);
+        const auto cell = x.c->rep().cell_register().peek();
+        ASSERT_EQ(cell.value, 1);        // applied exactly once
+        ASSERT_EQ(cell.applied[0], 1u);  // and recorded in the table
+      });
+  EXPECT_GT(stats.executions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash injection: an enqueuer dying mid-slow-path. Depending on the crash
+// offset the announce is either not yet published (no trace) or published,
+// in which case any helper completes the operation exactly once.
+// ---------------------------------------------------------------------------
+
+TEST(U2Counter, CrashedAnnouncerIsCompletedByAHelperExactlyOnce) {
+  const int n = 3;
+  // Sweep the crash across every access of the forced-slow-path inc: before
+  // the record install, mid-bakery-scan, after the announce, mid-self-help.
+  for (std::uint64_t at = 0; at < 20; ++at) {
+    World w(n, {.crashes = {{.pid = 1, .at_access = at}}});
+    api::SimBackend::Mem mem(w, "u2");
+    SimCounter::Config cfg;
+    cfg.max_fast_attempts = 0;
+    cfg.help_period = 1;  // every op helps first
+    SimCounter c(mem, n, "c", cfg);
+    w.spawn(1, [&](Context ctx) -> ProcessTask { co_await c.inc(ctx, 100); });
+    w.run_solo(1);  // crashes somewhere inside (or completes, at large `at`)
+
+    // Survivor pid 0 runs its own ops; its help-first pass adopts pid 1's
+    // announce if one was published.
+    w.spawn(0, [&](Context ctx) -> ProcessTask {
+      co_await c.inc(ctx, 1);
+      co_await c.inc(ctx, 1);
+    });
+    w.run_solo(0);
+    const auto cell = c.rep().cell_register().peek();
+    // pid 1's inc is all-or-nothing: value is 2 (+100 iff its op was
+    // announced in time), never a partial or doubled effect.
+    EXPECT_TRUE(cell.value == 2 || cell.value == 102) << "at=" << at;
+    EXPECT_EQ(cell.value == 102, cell.applied[1] == 1u) << "at=" << at;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SortedSet: sequential semantics (sim, solo runs)
+// ---------------------------------------------------------------------------
+
+TEST(U2Set, SoloSequentialSemantics) {
+  const int n = 2;
+  World w(n);
+  api::SimBackend::Mem mem(w, "u2");
+  SimSet s(mem, n, /*capacity_per_proc=*/8, "set");
+  std::vector<std::int64_t> rs;
+  std::vector<std::int64_t> keys;
+  w.spawn(0, [&](Context ctx) -> ProcessTask {
+    rs.push_back(co_await s.insert(ctx, 5));
+    rs.push_back(co_await s.insert(ctx, 5));  // duplicate
+    rs.push_back(co_await s.insert(ctx, 3));
+    rs.push_back(co_await s.insert(ctx, 7));
+    rs.push_back(co_await s.contains(ctx, 5));
+    rs.push_back(co_await s.contains(ctx, 4));
+    rs.push_back(co_await s.remove(ctx, 5));
+    rs.push_back(co_await s.remove(ctx, 5));  // already gone
+    rs.push_back(co_await s.contains(ctx, 5));
+    keys = co_await s.rep().snapshot_keys(ctx);
+  });
+  w.run_solo(0);
+  EXPECT_EQ(rs, (std::vector<std::int64_t>{1, 0, 1, 1, 1, 0, 1, 0, 0}));
+  EXPECT_EQ(keys, (std::vector<std::int64_t>{3, 7}));
+
+  // The other process observes the same list.
+  std::int64_t got = -1;
+  w.spawn(1, [&](Context ctx) -> ProcessTask {
+    got = co_await s.contains(ctx, 7);
+  });
+  w.run_solo(1);
+  EXPECT_EQ(got, 1);
+}
+
+// Membership must equal the net of *acknowledged* operations, whatever the
+// interleaving. Each process hammers a shared key range; afterwards the
+// per-key balance of successful inserts minus successful removes is 0 or 1
+// and matches the final membership.
+void run_set_contention(std::uint64_t seed) {
+  const int n = 4;
+  World w(n);
+  api::SimBackend::Mem mem(w, "u2");
+  SimSet obj(mem, n, /*capacity_per_proc=*/64, "set");
+  // Per-key net balance: +1 per acked insert, -1 per acked remove. Keys
+  // 0..4 are contested by everyone.
+  constexpr int kKeys = 5;
+  std::int64_t net[kKeys] = {};
+  for (int pid = 0; pid < n; ++pid) {
+    w.spawn(pid, [&, pid](Context ctx) -> ProcessTask {
+      for (int round = 0; round < 3; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          std::int64_t a = co_await obj.insert(ctx, k);
+          net[k] += a;
+          if ((pid + round + k) % 2 == 0) {
+            std::int64_t r = co_await obj.remove(ctx, k);
+            net[k] -= r;
+          }
+          std::int64_t in = co_await obj.contains(ctx, k);
+          EXPECT_TRUE(in == 0 || in == 1);
+        }
+      }
+    });
+  }
+  sim::RandomScheduler rs(seed, 0.3);
+  ASSERT_TRUE(w.run(rs).all_done);
+  std::vector<std::int64_t> keys;
+  w.spawn(0, [&](Context ctx) -> ProcessTask {
+    keys = co_await obj.rep().snapshot_keys(ctx);
+  });
+  w.run_solo(0);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end())
+      << "duplicate key in the list";
+  for (int k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(net[k] == 0 || net[k] == 1) << "key " << k;
+    const bool present =
+        std::find(keys.begin(), keys.end(), k) != keys.end();
+    EXPECT_EQ(present, net[k] == 1) << "key " << k << " seed " << seed;
+  }
+}
+
+TEST(U2Set, ContendedOpsKeepMembershipConsistentWithResponses) {
+  for (const std::uint64_t seed : {31u, 32u, 33u, 34u}) {
+    run_set_contention(seed);
+  }
+}
+
+TEST(U2Set, ForcedSlowPathKeepsMembershipConsistent) {
+  for (const std::uint64_t seed : {41u, 42u, 43u}) {
+    const int n = 4;
+    World w(n);
+    api::SimBackend::Mem mem(w, "u2");
+    SimSet::Config cfg;
+    cfg.max_fast_attempts = 0;
+    cfg.help_period = 1;
+    SimSet s(mem, n, /*capacity_per_proc=*/64, "set", cfg);
+    std::int64_t acked[4] = {};
+    for (int pid = 0; pid < n; ++pid) {
+      w.spawn(pid, [&, pid](Context ctx) -> ProcessTask {
+        // Everyone fights to insert the same three keys.
+        for (const std::int64_t k : {7, 3, 9}) {
+          std::int64_t a = co_await s.insert(ctx, k);
+          acked[pid] += a;
+        }
+      });
+    }
+    sim::RandomScheduler rs(seed, 0.2);
+    ASSERT_TRUE(w.run(rs).all_done);
+    // Exactly one ack per key across all processes.
+    EXPECT_EQ(acked[0] + acked[1] + acked[2] + acked[3], 3) << "seed=" << seed;
+    std::vector<std::int64_t> keys;
+    w.spawn(0, [&](Context ctx) -> ProcessTask {
+      keys = co_await s.rep().snapshot_keys(ctx);
+    });
+    w.run_solo(0);
+    EXPECT_EQ(keys, (std::vector<std::int64_t>{3, 7, 9})) << "seed=" << seed;
+    std::uint64_t slow = 0;
+    for (int p = 0; p < n; ++p) slow += s.sim().slow_path_entries(p);
+    EXPECT_GT(slow, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sim-vs-rt parity: identical access sequences through both backends.
+// ---------------------------------------------------------------------------
+
+TEST(U2Counter, SimAndRtBackendsPerformTheSameAccesses) {
+  for (int n : {2, 4, 8}) {
+    World w(n);
+    api::SimBackend::Mem mem(w, "u2c");
+    SimCounter c(mem, n, "u2c");
+    w.spawn(0, [&](Context ctx) -> ProcessTask {
+      co_await c.inc(ctx, 5);
+      co_await c.dec(ctx, 2);
+      (void)co_await c.read(ctx);
+    });
+    w.run_solo(0);
+    const auto sim_counts = w.counts(0);
+
+    obs::Registry reg;
+    Counter2RT rt_c(n);
+    rt_c.attach_obs(reg, "u2c");
+    rt_c.inc(0, 5);
+    rt_c.dec(0, 2);
+    (void)rt_c.read(0);
+    const std::uint64_t rt_reads = reg.counter("rt.u2c.reads").value();
+    const std::uint64_t rt_writes = reg.counter("rt.u2c.writes").value();
+    const std::uint64_t rt_cas = reg.counter("rt.u2c.cas").value();
+    EXPECT_EQ(rt_reads, sim_counts.reads) << "n=" << n;
+    EXPECT_EQ(rt_writes + rt_cas, sim_counts.writes) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rt storms: real threads, real contention; totals must match the spec.
+// ---------------------------------------------------------------------------
+
+TEST(U2Rt, CounterIncStormSumsExactly) {
+  const int n = 8;
+  const int kOps = 2000;
+  Counter2RT c(n);
+  rt::parallel_run(n, [&](int pid) {
+    for (int i = 0; i < kOps; ++i) {
+      c.inc(pid, 1);
+    }
+  });
+  EXPECT_EQ(c.read(0), static_cast<std::int64_t>(n) * kOps);
+}
+
+TEST(U2Rt, ForcedSlowPathCounterStormSumsExactly) {
+  const int n = 4;
+  const int kOps = 300;
+  Counter2RT::Config cfg;
+  cfg.max_fast_attempts = 0;
+  cfg.help_period = 1;
+  Counter2RT c(n, cfg);
+  rt::parallel_run(n, [&](int pid) {
+    for (int i = 0; i < kOps; ++i) {
+      c.inc(pid, 1);
+    }
+  });
+  EXPECT_EQ(c.read(0), static_cast<std::int64_t>(n) * kOps);
+  std::uint64_t slow = 0;
+  for (int p = 0; p < n; ++p) slow += c.slow_path_entries(p);
+  EXPECT_EQ(slow, static_cast<std::uint64_t>(n) * kOps);
+}
+
+TEST(U2Rt, SortedSetStormMatchesAcknowledgedOperations) {
+  const int n = 8;
+  const int kDisjoint = 100;
+  constexpr int kShared = 4;
+  const int kRounds = 50;
+  // Capacity: disjoint inserts + shared-key attempts (each prepare of an
+  // absent key burns a node, helpers included) with generous slack.
+  SortedSetRT set(n, /*capacity_per_proc=*/kDisjoint + 16 * kRounds + 64);
+  std::atomic<std::int64_t> net[kShared];
+  for (auto& a : net) a.store(0);
+  rt::parallel_run(n, [&](int pid) {
+    for (int i = 0; i < kDisjoint; ++i) {
+      EXPECT_EQ(set.insert(pid, 1000 + pid * 1000 + i), 1);
+    }
+    for (int r = 0; r < kRounds; ++r) {
+      for (int k = 0; k < kShared; ++k) {
+        net[k].fetch_add(set.insert(pid, k));
+        if ((pid + r) % 2 == 0) {
+          net[k].fetch_sub(set.remove(pid, k));
+        }
+        const std::int64_t in = set.contains(pid, k);
+        EXPECT_TRUE(in == 0 || in == 1);
+      }
+    }
+  });
+  const std::vector<std::int64_t> keys = set.snapshot_keys(0);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+  std::size_t disjoint_found = 0;
+  for (const std::int64_t k : keys) {
+    if (k >= 1000) ++disjoint_found;
+  }
+  EXPECT_EQ(disjoint_found, static_cast<std::size_t>(n) * kDisjoint);
+  for (int k = 0; k < kShared; ++k) {
+    const std::int64_t balance = net[k].load();
+    ASSERT_TRUE(balance == 0 || balance == 1) << "key " << k;
+    const bool present = std::find(keys.begin(), keys.end(), k) != keys.end();
+    EXPECT_EQ(present, balance == 1) << "key " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Help bound, re-derived from a trace: a complete universal2 op emits at
+// most n−1 kHelp events (one per distinct helped process). The forced
+// slow path with help_period=1 is the worst case — every op helps — and
+// the padded negative control proves the checker can actually reject.
+// ---------------------------------------------------------------------------
+
+TEST(U2Trace, HelpBoundHoldsOnRealTracesAndRejectsPaddedOnes) {
+  const int n = 4;
+  obs::Tracer tracer(n, 1 << 16);
+  {
+    World w(n, {.tracer = &tracer});
+    api::SimBackend::Mem mem(w, "u2");
+    SimCounter::Config cfg;
+    cfg.max_fast_attempts = 0;
+    cfg.help_period = 1;
+    SimCounter c(mem, n, "c", cfg);
+    for (int pid = 0; pid < n; ++pid) {
+      w.spawn(pid, [&, pid](Context ctx) -> ProcessTask {
+        for (int i = 0; i < 3; ++i) {
+          co_await c.inc(ctx, pid + 1);
+        }
+      });
+    }
+    sim::RandomScheduler rs(/*seed=*/99, 0.3);
+    ASSERT_TRUE(w.run(rs).all_done);
+  }
+  std::vector<obs::TraceEvent> events = tracer.events();
+  const obs::TraceAnalysis analysis = obs::analyze(events);
+  const obs::BoundReport report = obs::check_u2_help_bound(analysis);
+  EXPECT_TRUE(report.ok()) << obs::format_report(report);
+  EXPECT_GT(report.checked, 0u);
+
+  // Negative control: pad one complete op past the bound.
+  const std::vector<const obs::OpStats*> complete =
+      analysis.complete_of(obs::OpKind::kU2Execute);
+  ASSERT_FALSE(complete.empty());
+  for (int i = 0; i < n; ++i) {
+    obs::TraceEvent help;
+    help.kind = obs::EventKind::kHelp;
+    help.pid = complete.front()->pid;
+    help.op = complete.front()->op;
+    events.push_back(help);
+  }
+  const obs::BoundReport padded =
+      obs::check_u2_help_bound(obs::analyze(events));
+  EXPECT_FALSE(padded.ok());
+}
+
+// ---------------------------------------------------------------------------
+// The paper universal construction, backend-generic port: same semantics
+// through the same facade bench_e6 uses as its baseline.
+// ---------------------------------------------------------------------------
+
+TEST(U2PaperUniversal, SimMatchesSequentialCounterSemantics) {
+  const int n = 3;
+  World w(n);
+  api::SimBackend::Mem mem(w, "pu");
+  PaperUniversal<api::SimBackend, CounterSpec> u(mem, n);
+  std::int64_t got = -1;
+  w.spawn(0, [&](Context ctx) -> ProcessTask {
+    co_await u.execute(ctx, CounterSpec::inc(4));
+    co_await u.execute(ctx, CounterSpec::dec(1));
+    got = co_await u.execute(ctx, CounterSpec::read());
+  });
+  w.run_solo(0);
+  EXPECT_EQ(got, 3);
+  w.spawn(2, [&](Context ctx) -> ProcessTask {
+    co_await u.execute(ctx, CounterSpec::inc(7));
+    got = co_await u.execute(ctx, CounterSpec::read());
+  });
+  w.run_solo(2);
+  EXPECT_EQ(got, 10);
+  EXPECT_EQ(u.entries_created(0), 3u);
+}
+
+TEST(U2PaperUniversal, ConcurrentExecutionsAgreeUnderRandomSchedules) {
+  for (const std::uint64_t seed : {7u, 8u, 9u}) {
+    const int n = 3;
+    World w(n);
+    api::SimBackend::Mem mem(w, "pu");
+    PaperUniversal<api::SimBackend, CounterSpec> u(mem, n);
+    for (int pid = 0; pid < n; ++pid) {
+      w.spawn(pid, [&, pid](Context ctx) -> ProcessTask {
+        co_await u.execute(ctx, CounterSpec::inc(pid + 1));
+        co_await u.execute(ctx, CounterSpec::inc(10));
+      });
+    }
+    sim::RandomScheduler rs(seed, 0.4);
+    ASSERT_TRUE(w.run(rs).all_done);
+    std::int64_t got = -1;
+    w.spawn(0, [&](Context ctx) -> ProcessTask {
+      got = co_await u.execute(ctx, CounterSpec::read());
+    });
+    w.run_solo(0);
+    EXPECT_EQ(got, (1 + 2 + 3) + 3 * 10) << "seed=" << seed;
+  }
+}
+
+TEST(U2PaperUniversal, RtWrapperMatchesSpecUnderThreads) {
+  const int n = 4;
+  const int kOps = 50;
+  PaperUniversalRT<CounterSpec> u(n);
+  rt::parallel_run(n, [&](int pid) {
+    for (int i = 0; i < kOps; ++i) {
+      u.execute(pid, CounterSpec::inc(1));
+    }
+  });
+  EXPECT_EQ(u.execute(0, CounterSpec::read()),
+            static_cast<std::int64_t>(n) * kOps);
+}
+
+}  // namespace
+}  // namespace apram::universal2

@@ -19,6 +19,7 @@
 //         --bound tree_update=1+8ceil(log2n)
 //         --bound tree_scan=1
 //         --bound agreement --log_ratio <log2(delta/eps)>
+//         --bound u2_help=n-1
 //
 //       `--n N` overrides the process count (default: max pid + 1 in the
 //       trace). Exit 0 iff every requested bound checked at least one
@@ -50,7 +51,8 @@ using apram::obs::TraceAnalysis;
       "  apram-trace check <metrics.json> --bound <name[=formula]>...\n"
       "               [--n N] [--log_ratio X]\n"
       "bounds: scan[=n^2-1]  tree_update[=1+8ceil(log2n)]  tree_scan[=1]\n"
-      "        agreement[=(2n+1)(log2(delta/eps)+3)+8n] (needs --log_ratio)\n");
+      "        agreement[=(2n+1)(log2(delta/eps)+3)+8n] (needs --log_ratio)\n"
+      "        u2_help[=n-1]\n");
   std::exit(2);
 }
 
@@ -72,7 +74,8 @@ int run_summary(const std::string& path) {
       OpKind::kScan,    OpKind::kWriteL,     OpKind::kReadMax,
       OpKind::kPost,    OpKind::kTreeUpdate, OpKind::kTreeScan,
       OpKind::kInput,   OpKind::kOutput,     OpKind::kExecute,
-      OpKind::kUser,
+      OpKind::kUser,    OpKind::kU2Execute,  OpKind::kU2Insert,
+      OpKind::kU2Remove, OpKind::kU2Contains,
   };
   for (OpKind kind : kKinds) {
     const std::vector<const OpStats*> ops = a.complete_of(kind);
@@ -133,6 +136,8 @@ int run_check(const std::string& path, const std::vector<std::string>& bounds,
       report = apram::obs::check_tree_update_bound(a, n);
     } else if (name == "tree_scan") {
       report = apram::obs::check_tree_scan_bound(a);
+    } else if (name == "u2_help") {
+      report = apram::obs::check_u2_help_bound(a, n);
     } else {
       if (log_ratio < 0.0) {
         std::fprintf(stderr, "--bound agreement requires --log_ratio\n");

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Generic bench-artifact regression gate.
+
+Compares one headline gauge (higher is better) between freshly produced
+metrics artifacts and a committed baseline, and fails (exit 1) if the
+current number regresses by more than --tolerance.
+
+Raw wall-clock ratios across different machines (dev box vs shared CI
+runner) are meaningless, so the gate normalizes by a second gauge measured
+in the SAME run — a companion implementation riding the identical hot path,
+so machine speed and runner noise cancel and what remains is the shape
+difference the gate actually protects:
+
+    expected = baseline_headline * (current_norm / baseline_norm)
+    fail if current_headline < (1 - tolerance) * expected
+
+Multiple current artifacts may be passed; the gate takes the BEST ratio.
+Scheduler noise on a shared runner is one-sided (it only slows a cell
+down), while a real regression depresses every run — so best-of-N rejects
+noise without loosening the tolerance.
+
+Optionally the gate also checks a latency histogram's p99 (lower is
+better), normalized by the inverse machine scale:
+
+    expected_p99 = baseline_p99 / (current_norm / baseline_norm)
+    fail if current_p99 > (1 + p99_tolerance) * expected_p99
+
+Tail latency is far noisier than throughput, so --p99-tolerance defaults
+to 1.0 (the current p99 may be up to 2x the scaled baseline).
+
+Usage:
+    tools/check_bench_regression.py build/run1.json build/run2.json \
+        --baseline bench/results/BENCH_e6.json \
+        --headline e6.rt.u2.n8.uncontended.ops_per_sec \
+        --normalize e6.rt.paper.n8.uncontended.ops_per_sec \
+        [--tolerance 0.10] \
+        [--p99 e6.rt.u2.n8.uncontended.op_ns] [--p99-tolerance 1.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def _load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read metrics from {path}: {e}")
+
+
+def gauge(doc, path, name):
+    gauges = doc.get("gauges", {})
+    if name not in gauges:
+        sys.exit(f"error: gauge {name!r} missing from {path}")
+    value = float(gauges[name])
+    if value <= 0:
+        sys.exit(f"error: gauge {name!r} in {path} is non-positive ({value})")
+    return value
+
+
+def hist_p99(doc, path, name):
+    hists = doc.get("histograms", {})
+    if name not in hists:
+        sys.exit(f"error: histogram {name!r} missing from {path}")
+    p99 = float(hists[name].get("p99", 0.0))
+    if p99 <= 0:
+        sys.exit(f"error: histogram {name!r} in {path} has no p99 ({p99})")
+    return p99
+
+
+def run_gate(current_paths, baseline_path, headline, normalize,
+             tolerance=0.10, p99=None, p99_tolerance=1.0):
+    """Returns a process exit code (0 pass, 1 fail)."""
+    base = _load(baseline_path)
+    base_head = gauge(base, baseline_path, headline)
+    base_norm = gauge(base, baseline_path, normalize)
+    print(f"baseline : {headline}={base_head:.0f} "
+          f"{normalize}={base_norm:.0f}")
+    base_p99 = hist_p99(base, baseline_path, p99) if p99 else None
+
+    best_ratio = 0.0
+    best_p99_ratio = float("inf")
+    for path in current_paths:
+        cur = _load(path)
+        cur_head = gauge(cur, path, headline)
+        cur_norm = gauge(cur, path, normalize)
+        machine_scale = cur_norm / base_norm
+        ratio = cur_head / (base_head * machine_scale)
+        best_ratio = max(best_ratio, ratio)
+        line = (f"{path}: headline={cur_head:.0f} norm={cur_norm:.0f} "
+                f"scale={machine_scale:.3f} ratio={ratio:.3f}")
+        if p99:
+            cur_p99 = hist_p99(cur, path, p99)
+            p99_ratio = cur_p99 / (base_p99 / machine_scale)
+            best_p99_ratio = min(best_p99_ratio, p99_ratio)
+            line += f" p99={cur_p99:.0f}ns p99_ratio={p99_ratio:.3f}"
+        print(line)
+
+    print(f"best throughput ratio (current / normalized expected): "
+          f"{best_ratio:.3f} (gate: >= {1.0 - tolerance:.3f})")
+
+    failed = False
+    if best_ratio < 1.0 - tolerance:
+        print(f"FAIL: {headline} is {(1.0 - best_ratio) * 100.0:.1f}% below "
+              f"the normalized baseline in every run (tolerance "
+              f"{tolerance * 100.0:.0f}%).")
+        failed = True
+    if p99:
+        print(f"best p99 ratio (current / normalized expected): "
+              f"{best_p99_ratio:.3f} (gate: <= {1.0 + p99_tolerance:.3f})")
+        if best_p99_ratio > 1.0 + p99_tolerance:
+            print(f"FAIL: {p99} p99 is {best_p99_ratio:.2f}x the normalized "
+                  f"baseline in every run (tolerance allows "
+                  f"{1.0 + p99_tolerance:.2f}x).")
+            failed = True
+    if failed:
+        return 1
+    print("OK: within tolerance of the baseline.")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "current",
+        nargs="+",
+        help="metrics artifact(s) from the run(s) under test; the gate "
+        "passes if ANY run is within tolerance",
+    )
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline metrics artifact")
+    ap.add_argument("--headline", required=True,
+                    help="gauge under test (higher is better)")
+    ap.add_argument(
+        "--normalize", required=True,
+        help="same-run gauge used to cancel machine speed (e.g. a companion "
+        "implementation on the identical hot path)",
+    )
+    ap.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional regression of the normalized headline "
+        "(default: %(default)s)",
+    )
+    ap.add_argument(
+        "--p99", default=None,
+        help="optional latency histogram whose p99 (lower is better) is "
+        "also gated",
+    )
+    ap.add_argument(
+        "--p99-tolerance", type=float, default=1.0,
+        help="allowed fractional increase of the normalized p99 "
+        "(default: %(default)s, i.e. up to 2x)",
+    )
+    args = ap.parse_args()
+    return run_gate(args.current, args.baseline, args.headline,
+                    args.normalize, args.tolerance, args.p99,
+                    args.p99_tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,10 @@
 #!/usr/bin/env python3
 """Gate bench_t1 tree throughput against the committed baseline.
 
-Compares the headline cell — TreeScanRT ops/s at 8 threads, 90/10
-update/scan mix — between freshly produced BENCH_t1.json artifacts and the
-committed bench/results/BENCH_t1.json, and fails (exit 1) if the current
-number regresses by more than --tolerance (default 10%).
-
-Raw wall-clock ratios across different machines (dev box vs shared CI
-runner) are meaningless, so the gate normalizes by the LatticeScanRT flat
-object measured in the SAME run: both implementations ride the identical
+Thin wrapper over the generic gate (tools/check_bench_regression.py) with
+the bench_t1 cells baked in: the headline is TreeScanRT ops/s at 8
+threads, 90/10 update/scan mix, normalized by the LatticeScanRT flat
+object measured in the SAME run — both implementations ride the identical
 register read/write hot path, so machine speed and runner noise cancel,
 and what remains is the tree-vs-flat shape — the thing a read-path
 regression (e.g. in the version-arena acquire/release) actually moves.
@@ -16,12 +12,11 @@ regression (e.g. in the version-arena acquire/release) actually moves.
     expected_tree = baseline_tree * (current_flat / baseline_flat)
     fail if current_tree < (1 - tolerance) * expected_tree
 
-Multiple current artifacts may be passed; the gate takes the BEST ratio.
-Scheduler noise on a shared runner is one-sided (it only slows a cell
-down), while a real regression depresses every run — so best-of-N rejects
-noise without loosening the tolerance. Iteration counts should match the
-baseline's (the default --ops_per_thread): the tree/flat ratio drifts at
-very low iteration counts where startup costs dominate.
+Multiple current artifacts may be passed; the gate takes the BEST ratio
+(scheduler noise is one-sided; a real regression depresses every run).
+Iteration counts should match the baseline's (the default
+--ops_per_thread): the tree/flat ratio drifts at very low iteration
+counts where startup costs dominate.
 
 Usage:
     tools/check_t1_regression.py build/gate1.json build/gate2.json \
@@ -29,26 +24,12 @@ Usage:
 """
 
 import argparse
-import json
 import sys
+
+from check_bench_regression import run_gate
 
 HEADLINE_TREE = "t1.tree.t8.mix90_10.ops_per_sec"
 HEADLINE_FLAT = "t1.flat.t8.mix90_10.ops_per_sec"
-
-
-def gauge(path, name):
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot read metrics from {path}: {e}")
-    gauges = doc.get("gauges", {})
-    if name not in gauges:
-        sys.exit(f"error: gauge {name!r} missing from {path}")
-    value = float(gauges[name])
-    if value <= 0:
-        sys.exit(f"error: gauge {name!r} in {path} is non-positive ({value})")
-    return value
 
 
 def main():
@@ -72,37 +53,8 @@ def main():
         "throughput (default: %(default)s)",
     )
     args = ap.parse_args()
-
-    base_tree = gauge(args.baseline, HEADLINE_TREE)
-    base_flat = gauge(args.baseline, HEADLINE_FLAT)
-    print(f"baseline : tree={base_tree:>12.0f} flat={base_flat:>12.0f} ops/s")
-
-    best_ratio = 0.0
-    for path in args.current:
-        cur_tree = gauge(path, HEADLINE_TREE)
-        cur_flat = gauge(path, HEADLINE_FLAT)
-        machine_scale = cur_flat / base_flat
-        expected_tree = base_tree * machine_scale
-        ratio = cur_tree / expected_tree
-        best_ratio = max(best_ratio, ratio)
-        print(
-            f"{path}: tree={cur_tree:.0f} flat={cur_flat:.0f} "
-            f"scale={machine_scale:.3f} ratio={ratio:.3f}"
-        )
-
-    print(f"best ratio (current / flat-normalized expected) : "
-          f"{best_ratio:.3f} (gate: >= {1.0 - args.tolerance:.3f})")
-
-    if best_ratio < 1.0 - args.tolerance:
-        print(
-            f"FAIL: tree throughput at t8 mix90_10 is "
-            f"{(1.0 - best_ratio) * 100.0:.1f}% below the flat-normalized "
-            f"baseline in every run (tolerance "
-            f"{args.tolerance * 100.0:.0f}%)."
-        )
-        return 1
-    print("OK: tree throughput within tolerance of the baseline.")
-    return 0
+    return run_gate(args.current, args.baseline, HEADLINE_TREE,
+                    HEADLINE_FLAT, args.tolerance)
 
 
 if __name__ == "__main__":
