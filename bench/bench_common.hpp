@@ -27,13 +27,17 @@ namespace apram::bench {
 // Per-binary observability bundle: the registry every measurement flows
 // into, and the machine-readable JSON artifact CI asserts on. Construct it
 // right after Flags (it claims --metrics_out; pass --metrics_out= to
-// disable the artifact) and call emit() once at the end of run().
+// disable the artifact) and call emit() once at the end of run(). The
+// default path routes through obs::artifact_path ($APRAM_ARTIFACT_DIR,
+// else the binary's directory) so a source-dir invocation never litters
+// the tree; an explicit --metrics_out is taken verbatim.
 class BenchObs {
  public:
   BenchObs(const std::string& bench_name, Flags& flags)
       : name_(bench_name),
-        path_(flags.get_string("metrics_out",
-                               bench_name + ".metrics.json")) {}
+        path_(flags.get_string(
+            "metrics_out",
+            obs::artifact_path(bench_name + ".metrics.json"))) {}
 
   obs::Registry& registry() { return registry_; }
 

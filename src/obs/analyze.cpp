@@ -341,12 +341,24 @@ BoundReport check_u2_help_bound(const TraceAnalysis& a, int n) {
   return report;
 }
 
+BoundReport check_scenario_op_bound(const TraceAnalysis& a) {
+  BoundReport report{.name = "scenario_op",
+                     .formula = bound_formula("scenario_op")};
+  check_ops(a, OpKind::kScenarioOp, report,
+            [&](const OpStats& s, BoundReport& r) {
+              if (s.accesses() != 1)
+                violation(r, s, "accesses", s.accesses(), 1, a.num_pids);
+            });
+  return report;
+}
+
 std::string bound_formula(const std::string& name) {
   if (name == "scan") return "n^2-1";
   if (name == "tree_update") return "1+8ceil(log2n)";
   if (name == "tree_scan") return "1";
   if (name == "agreement") return "(2n+1)(log2(delta/eps)+3)+8n";
   if (name == "u2_help") return "n-1";
+  if (name == "scenario_op") return "1";
   return "";
 }
 

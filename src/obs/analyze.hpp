@@ -104,6 +104,10 @@ BoundReport check_agreement_bound(const TraceAnalysis& a, double log_ratio,
 // Checks every complete universal2 operation (kU2Execute / kU2Insert /
 // kU2Remove / kU2Contains) for helps <= n-1.
 BoundReport check_u2_help_bound(const TraceAnalysis& a, int n = 0);
+// Scenario-suite op (kScenarioOp): exactly 1 shared-memory access — the
+// per-op cost contract of sim::run_scenario's generated writers, checked on
+// traced large-n scenario artifacts.
+BoundReport check_scenario_op_bound(const TraceAnalysis& a);
 
 // Canonical formula for a bound name ("scan" → "n^2-1"); empty for unknown
 // names. The CLI accepts `--bound name=formula` and requires the formula,

@@ -1,5 +1,8 @@
 #include "obs/export.hpp"
 
+#include <unistd.h>
+
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -125,6 +128,28 @@ void write_metrics_json(const std::string& path, const Registry& reg,
   export_json(out, reg, tracer, name);
   out.flush();
   APRAM_CHECK_MSG(out.good(), "metrics artifact write failed");
+}
+
+std::string artifact_path(const std::string& filename) {
+  if (filename.empty() || filename.find('/') != std::string::npos) {
+    return filename;  // explicit destination, caller's choice
+  }
+  if (const char* dir = std::getenv("APRAM_ARTIFACT_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    std::string d(dir);
+    if (d.back() != '/') d.push_back('/');
+    return d + filename;
+  }
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len > 0) {
+    const std::string exe(buf, static_cast<std::size_t>(len));
+    const std::size_t slash = exe.rfind('/');
+    if (slash != std::string::npos) {
+      return exe.substr(0, slash + 1) + filename;
+    }
+  }
+  return filename;  // no binary dir resolvable: fall back to the cwd
 }
 
 Table registry_table(const Registry& reg, const std::string& title) {

@@ -43,6 +43,15 @@ void write_metrics_json(const std::string& path, const Registry& reg,
                         const Tracer* tracer = nullptr,
                         const std::string& name = "");
 
+// Resolves a BARE artifact filename to a directory that is not the caller's
+// cwd: $APRAM_ARTIFACT_DIR if set, else the running binary's directory
+// (so source-dir invocations of tests/benches don't litter the tree), else
+// the cwd as a last resort. A filename containing '/' is an explicit
+// destination and is returned unchanged. Default artifact paths (test
+// teardowns, BenchObs) must go through this; explicit --metrics_out values
+// must not.
+std::string artifact_path(const std::string& filename);
+
 // Human-readable registry dump using the bench harness's table format.
 Table registry_table(const Registry& reg, const std::string& title);
 

@@ -36,6 +36,8 @@ const char* op_kind_name(OpKind k) {
       return "u2_remove";
     case OpKind::kU2Contains:
       return "u2_contains";
+    case OpKind::kScenarioOp:
+      return "scenario_op";
   }
   return "?";
 }
@@ -47,6 +49,7 @@ OpKind op_kind_from_name(const std::string& name) {
       OpKind::kTreeScan, OpKind::kInput,    OpKind::kOutput,
       OpKind::kExecute, OpKind::kUser,      OpKind::kU2Execute,
       OpKind::kU2Insert, OpKind::kU2Remove, OpKind::kU2Contains,
+      OpKind::kScenarioOp,
   };
   for (OpKind k : kAll) {
     if (name == op_kind_name(k)) return k;

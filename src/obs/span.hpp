@@ -54,6 +54,10 @@ enum class OpKind : std::uint8_t {
   kU2Insert,    // universal2 sorted-set insert
   kU2Remove,    // universal2 sorted-set remove
   kU2Contains,  // universal2 sorted-set contains (fast-path only)
+  // sim scenario suite (appended — see the note above). One scenario
+  // operation = one shared-memory access, so apram-trace can certify the
+  // per-op cost of million-process scenario runs (`scenario_op = 1`).
+  kScenarioOp,
 };
 
 const char* op_kind_name(OpKind k);

@@ -1,0 +1,137 @@
+// RunnableSet — the World's incrementally maintained set of runnable pids.
+//
+// Million-process Worlds need three queries the old per-pick scans cannot
+// afford: "how many processes are runnable" (World::all_done / num_runnable,
+// previously O(n) per call), "the first runnable pid at or after p"
+// (RoundRobinScheduler's fairness order, previously an O(n) wrap-around
+// scan), and "a uniformly random runnable pid" (RandomScheduler, previously
+// an O(n) vector rebuild per pick). This structure maintains all three under
+// O(1)-amortized add/remove:
+//
+//   * a dense swap-remove array (ids_/pos_) gives size() and uniform
+//     sampling by index in O(1);
+//   * a hierarchical bitmap (levels_) gives next_at_or_after(p) — the
+//     SMALLEST runnable pid ≥ p, the exact order the old linear scan
+//     produced — in O(log64 n) word operations, i.e. ≤ 4 for 16M processes.
+//
+// Determinism: contents are a pure function of the add/remove history (no
+// hashing, no addresses), so replay and explore reconstruct identical
+// schedules. The dense array's ORDER depends on that history too — uniform
+// sampling over it is distribution-identical to sampling the sorted pid
+// list, but a different seed→sequence mapping than the pre-SoA scheduler
+// (see RandomScheduler's header note).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace apram::sim {
+
+class RunnableSet {
+ public:
+  explicit RunnableSet(int n) : n_(n), pos_(static_cast<std::size_t>(n), -1) {
+    APRAM_CHECK(n > 0);
+    std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+    for (;;) {
+      levels_.emplace_back(words, 0);
+      if (words == 1) break;
+      words = (words + 63) / 64;
+    }
+  }
+
+  int size() const { return static_cast<int>(ids_.size()); }
+  bool empty() const { return ids_.empty(); }
+
+  bool contains(int pid) const {
+    return pos_[static_cast<std::size_t>(pid)] >= 0;
+  }
+
+  // The i-th member in insertion/swap order (NOT pid order) — O(1), for
+  // uniform sampling.
+  int at(int i) const {
+    APRAM_CHECK(i >= 0 && i < size());
+    return ids_[static_cast<std::size_t>(i)];
+  }
+
+  void add(int pid) {
+    APRAM_CHECK(pid >= 0 && pid < n_);
+    APRAM_CHECK_MSG(!contains(pid), "RunnableSet::add of a present pid");
+    pos_[static_cast<std::size_t>(pid)] = static_cast<int>(ids_.size());
+    ids_.push_back(pid);
+    std::size_t idx = static_cast<std::size_t>(pid);
+    for (std::vector<std::uint64_t>& level : levels_) {
+      std::uint64_t& word = level[idx >> 6];
+      const std::uint64_t bit = 1ull << (idx & 63);
+      if (word & bit) break;  // parents already set
+      word |= bit;
+      idx >>= 6;
+    }
+  }
+
+  void remove(int pid) {
+    APRAM_CHECK(pid >= 0 && pid < n_);
+    int& p = pos_[static_cast<std::size_t>(pid)];
+    APRAM_CHECK_MSG(p >= 0, "RunnableSet::remove of an absent pid");
+    const int moved = ids_.back();
+    ids_[static_cast<std::size_t>(p)] = moved;
+    pos_[static_cast<std::size_t>(moved)] = p;
+    ids_.pop_back();
+    p = -1;
+    std::size_t idx = static_cast<std::size_t>(pid);
+    for (std::vector<std::uint64_t>& level : levels_) {
+      std::uint64_t& word = level[idx >> 6];
+      word &= ~(1ull << (idx & 63));
+      if (word != 0) break;  // siblings keep the parent bit alive
+      idx >>= 6;
+    }
+  }
+
+  // Smallest member ≥ pid, or -1 if none — the successor query RoundRobin
+  // fairness is defined by. Constant levels, so O(1) for any realistic n.
+  int next_at_or_after(int pid) const {
+    if (pid < 0) pid = 0;
+    if (pid >= n_) return -1;
+    std::size_t idx = static_cast<std::size_t>(pid);
+    // Check the leaf word containing pid (bits ≥ pid), then climb looking
+    // for a set bit strictly after the current subtree.
+    {
+      const std::uint64_t m = levels_[0][idx >> 6] & (~0ull << (idx & 63));
+      if (m != 0) {
+        return static_cast<int>(((idx >> 6) << 6) +
+                                static_cast<std::size_t>(std::countr_zero(m)));
+      }
+    }
+    std::size_t child = idx >> 6;  // word index at the level below
+    for (std::size_t lvl = 1; lvl < levels_.size(); ++lvl) {
+      const std::size_t bit = child & 63;
+      const std::uint64_t after =
+          bit == 63 ? 0 : (levels_[lvl][child >> 6] & (~0ull << (bit + 1)));
+      if (after != 0) {
+        // Descend along the leftmost set path back to the leaf level.
+        std::size_t i = ((child >> 6) << 6) +
+                        static_cast<std::size_t>(std::countr_zero(after));
+        for (std::size_t down = lvl; down > 0; --down) {
+          const std::uint64_t w = levels_[down - 1][i];
+          APRAM_CHECK(w != 0);
+          i = (i << 6) + static_cast<std::size_t>(std::countr_zero(w));
+        }
+        return static_cast<int>(i);
+      }
+      child >>= 6;
+    }
+    return -1;
+  }
+
+ private:
+  int n_;
+  std::vector<int> ids_;   // dense members, swap-remove order
+  std::vector<int> pos_;   // pid → index in ids_, -1 when absent
+  // levels_[0]: one bit per pid; levels_[k+1]: one bit per 64-word block of
+  // levels_[k] (set iff any bit below is set). Last level is a single word.
+  std::vector<std::vector<std::uint64_t>> levels_;
+};
+
+}  // namespace apram::sim

@@ -5,29 +5,29 @@
 namespace apram::sim {
 
 int RoundRobinScheduler::pick(World& w) {
-  const int n = w.num_procs();
-  for (int i = 0; i < n; ++i) {
-    const int pid = (next_ + i) % n;
-    if (w.runnable(pid)) {
-      next_ = (pid + 1) % n;
-      return pid;
-    }
-  }
-  return -1;
+  // First runnable pid at or after the cursor, wrapping once — the same
+  // order as the historical linear scan, via the runnable set's O(1)
+  // successor query.
+  int pid = w.next_runnable_at_or_after(next_);
+  if (pid < 0 && next_ > 0) pid = w.next_runnable_at_or_after(0);
+  if (pid < 0) return -1;
+  next_ = (pid + 1) % w.num_procs();
+  return pid;
 }
 
 int RandomScheduler::pick(World& w) {
+  // The sticky shortcut only applies to the same incarnation that was
+  // granted last time: a crash + revive (or done + spawn) bumps the
+  // World's spawn epoch and the new process starts with a fresh draw.
   if (stickiness_ > 0.0 && last_ >= 0 && w.runnable(last_) &&
-      rng_.chance(stickiness_)) {
+      w.spawn_epoch(last_) == last_epoch_ && rng_.chance(stickiness_)) {
     return last_;
   }
-  std::vector<int> runnable;
-  runnable.reserve(static_cast<std::size_t>(w.num_procs()));
-  for (int pid = 0; pid < w.num_procs(); ++pid) {
-    if (w.runnable(pid)) runnable.push_back(pid);
-  }
-  if (runnable.empty()) return -1;
-  last_ = runnable[rng_.below(runnable.size())];
+  const int n = w.num_runnable();
+  if (n == 0) return -1;
+  last_ = w.runnable_at(
+      static_cast<int>(rng_.below(static_cast<std::uint64_t>(n))));
+  last_epoch_ = w.spawn_epoch(last_);
   return last_;
 }
 
@@ -62,29 +62,69 @@ int RecordingScheduler::pick(World& w) {
 
 CrashingScheduler::CrashingScheduler(
     Scheduler& inner, std::vector<std::pair<std::uint64_t, int>> crashes)
-    : inner_(&inner), crashes_(std::move(crashes)) {}
+    : inner_(&inner), pending_(std::move(crashes)) {}
+
+void CrashingScheduler::check_victim(World& w, int pid) {
+  auto it = armed_.find(pid);
+  if (it == armed_.end()) return;
+  if (w.done(pid) || w.crashed(pid)) {
+    armed_.erase(it);  // completion wins; a crash retires the entry too
+    return;
+  }
+  if (w.counts(pid).total() >= it->second) {
+    w.crash(pid);
+    armed_.erase(it);
+  }
+}
+
+void CrashingScheduler::sweep(World& w) {
+  // Arm entries whose victim has spawned. Several entries for one victim
+  // collapse to the minimum quota: the smallest fires first, and both a
+  // fired crash and a completion retire every entry for that victim.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const auto [quota, victim] = pending_[i];
+    if (!w.spawned(victim)) {
+      pending_[keep++] = pending_[i];
+      continue;
+    }
+    auto [it, inserted] = armed_.try_emplace(victim, quota);
+    if (!inserted && quota < it->second) it->second = quota;
+  }
+  pending_.resize(keep);
+
+  for (auto it = armed_.begin(); it != armed_.end();) {
+    const int victim = it->first;
+    if (w.done(victim) || w.crashed(victim)) {
+      it = armed_.erase(it);
+      continue;
+    }
+    if (w.counts(victim).total() >= it->second) {
+      w.crash(victim);
+      it = armed_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
 
 int CrashingScheduler::pick(World& w) {
-  // Fire every crash whose victim has taken its quota of own steps. The
-  // check runs before the next grant is chosen, so a victim with quota S is
-  // crashed after its S-th access and before its (S+1)-th. Entries whose
-  // victim already finished (or crashed) are dropped: completion wins.
-  std::size_t keep = 0;
-  for (std::size_t i = 0; i < crashes_.size(); ++i) {
-    const auto [quota, victim] = crashes_[i];
-    if (!w.spawned(victim)) {
-      crashes_[keep++] = crashes_[i];  // not started yet: keep waiting
-      continue;
-    }
-    if (w.done(victim) || w.crashed(victim)) continue;
-    if (w.counts(victim).total() >= quota) {
-      w.crash(victim);
-      continue;
-    }
-    crashes_[keep++] = crashes_[i];
+  // The check runs before the next grant is chosen, so a victim with quota
+  // S is crashed after its S-th access and before its (S+1)-th. Between two
+  // of our picks only the granted pid's count can change, so checking
+  // `last_` alone is exact — unless steps happened outside our grants
+  // (global-step mismatch) or some victims are still unspawned, both of
+  // which fall back to a full sweep.
+  if (!primed_ || !pending_.empty() || w.global_step() != expected_step_) {
+    sweep(w);
+    primed_ = true;
+  } else if (last_ >= 0) {
+    check_victim(w, last_);
   }
-  crashes_.resize(keep);
-  return inner_->pick(w);
+  const int pid = inner_->pick(w);
+  last_ = pid;
+  expected_step_ = w.global_step() + 1;
+  return pid;
 }
 
 }  // namespace apram::sim

@@ -15,11 +15,22 @@
 //                           (failure injection)
 //   SoloScheduler         — runs a single process to completion
 //
+// All pick() implementations are O(1) amortized in the number of processes,
+// riding the World's incrementally maintained runnable set — a World with
+// 10⁶ processes pays the same per grant as one with 10. RoundRobin's pick
+// ORDER is unchanged from the historical O(n) scan (first runnable pid at
+// or after the cursor, wrapping), so recorded schedules and exploration
+// results are bit-identical; RandomScheduler draws from the same uniform
+// distribution but maps seeds to different sequences than the pre-SoA
+// version (it samples the runnable set's dense index instead of rebuilding
+// a sorted pid vector per pick).
+//
 // Programmable adversaries (e.g. the Lemma 6 lower-bound adversary) live
 // with the algorithms they attack.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -48,7 +59,9 @@ class RoundRobinScheduler final : public Scheduler {
 // Uniform random over runnable processes; with `stickiness` in (0,1), the
 // previously scheduled process is rescheduled with that probability first,
 // producing bursty interleavings that stress algorithms differently from
-// pure uniform choice.
+// pure uniform choice. The sticky pid is incarnation-checked: a pid that
+// crashed (or finished) and was re-spawned since the last pick is a new
+// process and never inherits the old one's burst.
 class RandomScheduler final : public Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed, double stickiness = 0.0)
@@ -60,6 +73,7 @@ class RandomScheduler final : public Scheduler {
   Rng rng_;
   double stickiness_;
   int last_ = -1;
+  std::uint32_t last_epoch_ = 0;  // World::spawn_epoch at the sticky pick
 };
 
 // Replays a fixed pid sequence; after it is exhausted behaviour depends on
@@ -123,6 +137,14 @@ class RecordingScheduler final : public Scheduler {
 // the victim's operation* independently of how the other processes are
 // interleaved, which is what "crash a writer one step before its final
 // write" needs to mean under an arbitrary scheduler.
+//
+// Cost: O(1) per pick once every victim has spawned. A victim's count only
+// changes when a grant goes to that victim, so between picks only the
+// previously granted pid needs re-checking; entries for not-yet-spawned
+// victims are re-scanned per pick until they spawn, and any step taken
+// outside this scheduler's grants (detected by a global-step mismatch)
+// forces one full re-scan — semantics are exactly the historical
+// every-entry-every-pick sweep, without its O(k) rewrite per grant.
 class CrashingScheduler final : public Scheduler {
  public:
   CrashingScheduler(Scheduler& inner,
@@ -131,8 +153,18 @@ class CrashingScheduler final : public Scheduler {
   int pick(World& w) override;
 
  private:
+  // Fires/retires the armed entry for `pid`, if any.
+  void check_victim(World& w, int pid);
+  // Re-evaluates every entry: drains newly spawned victims from pending_
+  // into armed_, drops finished/crashed victims, fires met quotas.
+  void sweep(World& w);
+
   Scheduler* inner_;
-  std::vector<std::pair<std::uint64_t, int>> crashes_;  // {victim steps, pid}
+  std::vector<std::pair<std::uint64_t, int>> pending_;  // victims not spawned
+  std::unordered_map<int, std::uint64_t> armed_;  // live victim → min quota
+  bool primed_ = false;
+  int last_ = -1;                   // pid granted by the previous pick
+  std::uint64_t expected_step_ = 0; // predicted global_step at the next pick
 };
 
 class SoloScheduler final : public Scheduler {

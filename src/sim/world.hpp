@@ -12,6 +12,18 @@
 // measure used by all the paper's theorems — and can optionally record a
 // full access trace for debugging and for history-based linearizability
 // checking.
+//
+// Per-process state is stored structure-of-arrays (one status byte, one
+// counts struct, one resume handle per pid in parallel vectors) rather than
+// as an array of process objects: Worlds sized for the north star's
+// 10⁵–10⁶ processes spend most steps touching one byte and one counter,
+// and the hot arrays stay cache-dense. Coroutine frames — the only
+// per-process allocation that is not O(1) — are created eagerly at spawn()
+// by default (the documented semantics: spawn runs the body's local prefix
+// up to its first access), or lazily at the first scheduler grant when
+// Options::lazy_spawn is set, so a spawned-but-never-scheduled process
+// costs only its stored closure. Frames are destroyed as soon as a process
+// finishes or crashes, bounding memory across long respawn churn.
 #pragma once
 
 #include <coroutine>
@@ -26,6 +38,7 @@
 #include "obs/trace.hpp"
 #include "sim/coro.hpp"
 #include "sim/register.hpp"
+#include "sim/runnable_set.hpp"
 #include "util/assert.hpp"
 
 namespace apram::sim {
@@ -74,6 +87,16 @@ class World {
     // explicit budget. Wait-free code exceeding it is a genuine bug.
     std::uint64_t max_steps = kDefaultMaxSteps;
     std::vector<CrashPoint> crashes;  // victim-keyed crash schedule
+    // Defer coroutine-frame creation to the first scheduler grant. Off by
+    // default: eager spawn is the documented semantics (a zero-access
+    // program is done() immediately after spawn()). Scenario drivers turn
+    // this on so 10⁶ spawned-but-not-yet-scheduled processes cost only
+    // their closures.
+    bool lazy_spawn = false;
+    // Mirror accesses into per-pid counters `<prefix>.reads.p<pid>` /
+    // `.writes.p<pid>` in addition to the totals. Off for huge Worlds:
+    // 10⁶ processes would mean 2·10⁶ string-keyed counters.
+    bool per_pid_metrics = true;
   };
 
   explicit World(int num_procs);
@@ -82,7 +105,7 @@ class World {
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  int num_procs() const { return static_cast<int>(procs_.size()); }
+  int num_procs() const { return static_cast<int>(state_.size()); }
 
   // --- Registers -----------------------------------------------------------
 
@@ -116,15 +139,43 @@ class World {
   // fresh program — step counts accumulate across programs.
   void spawn(int pid, ProcessFn fn);
 
-  bool spawned(int pid) const { return proc(pid).task.valid(); }
-  bool done(int pid) const { return proc(pid).done; }
-  bool crashed(int pid) const { return proc(pid).crashed; }
+  // spawn() that additionally accepts a crashed pid: the recovered process
+  // is a NEW incarnation (spawn_epoch advances) whose step counts continue
+  // to accumulate. This is the scenario suite's rolling crash/recovery
+  // churn; plain spawn() keeps the paper's crashes-are-permanent semantics.
+  void revive(int pid, ProcessFn fn);
+
+  bool spawned(int pid) const { return state(pid) != ProcState::kUnspawned; }
+  bool done(int pid) const { return state(pid) == ProcState::kDone; }
+  bool crashed(int pid) const { return state(pid) == ProcState::kCrashed; }
   bool runnable(int pid) const {
-    const Proc& p = proc(pid);
-    return p.task.valid() && !p.done && !p.crashed;
+    const ProcState s = state(pid);
+    return s == ProcState::kLive || s == ProcState::kPending;
   }
-  bool all_done() const;
-  int num_runnable() const;
+  bool all_done() const { return runnable_.empty(); }
+  int num_runnable() const { return runnable_.size(); }
+
+  // Incarnation counter: 0 before the first spawn, +1 per spawn()/revive().
+  // Schedulers that cache a pid across picks compare epochs to avoid
+  // conflating two incarnations of the same pid (RandomScheduler
+  // stickiness).
+  std::uint32_t spawn_epoch(int pid) const {
+    APRAM_CHECK(pid >= 0 && pid < num_procs());
+    return epoch_[static_cast<std::size_t>(pid)];
+  }
+
+  // --- Runnable-set queries (O(1); the scheduler hot path) -----------------
+
+  // Smallest runnable pid ≥ `pid`, or -1 if none (no wrap-around) — the
+  // successor order RoundRobinScheduler's fairness is defined by.
+  int next_runnable_at_or_after(int pid) const {
+    return runnable_.next_at_or_after(pid);
+  }
+
+  // The i-th runnable pid, 0 ≤ i < num_runnable(), in an unspecified but
+  // deterministic order — uniform sampling over i is uniform over runnable
+  // pids (RandomScheduler).
+  int runnable_at(int i) const { return runnable_.at(i); }
 
   // Permanently halts a process (models a crash failure). Wait-free code run
   // by the other processes must still complete.
@@ -142,7 +193,10 @@ class World {
   // --- Execution -----------------------------------------------------------
 
   // Grants one atomic step to `pid`. Returns true if the process is still
-  // runnable afterwards.
+  // runnable afterwards. Under lazy_spawn the first grant to a pending
+  // process materializes its frame, runs the free local prefix, and then
+  // performs the first access — still one access per grant, except for a
+  // zero-access program whose materializing grant performs none.
   bool step(int pid);
 
   // Repeatedly asks `sched` for the next process until all processes finish,
@@ -164,7 +218,10 @@ class World {
 
   // --- Accounting ----------------------------------------------------------
 
-  const StepCounts& counts(int pid) const { return proc(pid).counts; }
+  const StepCounts& counts(int pid) const {
+    APRAM_CHECK(pid >= 0 && pid < num_procs());
+    return counts_[static_cast<std::size_t>(pid)];
+  }
   StepCounts total_counts() const;
   std::uint64_t global_step() const { return global_step_; }
 
@@ -198,7 +255,8 @@ class World {
   }
 
   // Attached per-pid counters, for obs::CounterDelta-style region
-  // measurement. Aborts unless attach_metrics was called.
+  // measurement. Aborts unless attach_metrics was called with
+  // per_pid_metrics (the default).
   const obs::Counter& metrics_reads(int pid) const {
     APRAM_CHECK_MSG(!obs_reads_.empty(), "attach_metrics not called");
     APRAM_CHECK(pid >= 0 && pid < num_procs());
@@ -219,35 +277,46 @@ class World {
   template <class T>
   friend struct CasAwaiter;
 
-  void attach_metrics_impl(obs::Registry& registry, const std::string& prefix);
+  // Process lifecycle. kPending exists only under lazy_spawn: the body is
+  // installed and the pid is runnable, but no coroutine frame exists yet.
+  enum class ProcState : std::uint8_t {
+    kUnspawned = 0,
+    kPending,   // spawned, frame not yet materialized (lazy_spawn)
+    kLive,      // frame exists, suspended at an access point
+    kDone,      // program completed; frame destroyed
+    kCrashed,   // halted; frame destroyed
+  };
+
+  // Cold per-process storage: the installed body and its coroutine task.
+  // fn is declared before task so the frame (task) is destroyed before the
+  // closure its captures live in.
+  struct Body {
+    ProcessFn fn;
+    ProcessTask task;
+  };
+
+  void attach_metrics_impl(obs::Registry& registry, const std::string& prefix,
+                           bool per_pid);
   void set_tracer_impl(obs::Tracer* tracer);
 
   static constexpr std::uint64_t kNoScheduledCrash =
       ~static_cast<std::uint64_t>(0);
 
-  struct Proc {
-    ProcessFn fn;  // keeps the closure alive
-    ProcessTask task;
-    std::coroutine_handle<> resume_point;
-    bool done = false;
-    bool crashed = false;
-    StepCounts counts;
-    std::uint64_t crash_at = kNoScheduledCrash;  // see schedule_crash
-    obs::SpanStack spans;  // open operation spans (obs/span.hpp)
-  };
+  ProcState state(int pid) const {
+    APRAM_CHECK(pid >= 0 && pid < num_procs());
+    return state_[static_cast<std::size_t>(pid)];
+  }
 
-  Proc& proc(int pid) {
-    APRAM_CHECK(pid >= 0 && pid < static_cast<int>(procs_.size()));
-    return procs_[static_cast<std::size_t>(pid)];
-  }
-  const Proc& proc(int pid) const {
-    APRAM_CHECK(pid >= 0 && pid < static_cast<int>(procs_.size()));
-    return procs_[static_cast<std::size_t>(pid)];
-  }
+  void spawn_impl(int pid, ProcessFn fn, bool allow_crashed);
+  // Creates the frame of a kPending process and runs its free local prefix
+  // up to the first access (or to completion / a scheduled crash).
+  void materialize(int pid);
+  // kLive → kDone: retire the frame, propagate body exceptions, emit kDone.
+  void finish(int pid);
 
   // Called from access awaiters.
   void note_suspend(int pid, std::coroutine_handle<> h) {
-    proc(pid).resume_point = h;
+    resume_[static_cast<std::size_t>(pid)] = h;
   }
   void count_access(int pid, int register_id, bool is_write);
   // A CAS is one atomic step, counted as one write (see obs::AccessCounts);
@@ -261,6 +330,9 @@ class World {
 
   void emit_lifecycle(int pid, obs::EventKind kind);
   void maybe_fire_scheduled_crash(int pid);
+  std::uint64_t current_op(int pid) const {
+    return spans_.empty() ? 0 : spans_[static_cast<std::size_t>(pid)].current();
+  }
 
   // Operation-span markers, called through Context::op_begin etc. Local
   // bookkeeping at the current global step — zero model steps. No-ops
@@ -271,11 +343,21 @@ class World {
   void op_phase(int pid, obs::Phase phase, int index);
   void op_help(int pid, int object);
 
-  std::vector<Proc> procs_;
+  // Hot per-process state, structure-of-arrays (indexed by pid).
+  std::vector<ProcState> state_;
+  std::vector<StepCounts> counts_;
+  std::vector<std::coroutine_handle<>> resume_;
+  std::vector<std::uint64_t> crash_at_;   // see schedule_crash
+  std::vector<std::uint32_t> epoch_;      // see spawn_epoch
+  std::vector<Body> bodies_;              // cold: closures + frames
+  std::vector<obs::SpanStack> spans_;     // sized only when a tracer attaches
+  RunnableSet runnable_;                  // pids with state kPending/kLive
+
   std::vector<std::unique_ptr<RegisterBase>> registers_;
   std::uint64_t global_step_ = 0;
   std::uint64_t default_max_steps_ = kDefaultMaxSteps;
   bool trace_enabled_ = false;
+  bool lazy_spawn_ = false;
   std::vector<AccessEvent> trace_;
 
   // obs hooks; null/empty when not attached. The simulator is single-

@@ -101,6 +101,61 @@ TEST(Metrics, KindCollisionAborts) {
   EXPECT_DEATH(reg.gauge("name"), "");
 }
 
+TEST(Metrics, ClampedPinKeepsTotalsExact) {
+  // Shard ids ≥ kMaxShards clamp modulo kMaxShards: threads 1 and
+  // kMaxShards+1 share a shard, per-shard attribution blurs, but the
+  // aggregated total must stay exact.
+  Registry reg;
+  Counter& c = reg.counter("clamped");
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> ts;
+  for (int shard : {1, kMaxShards + 1, 2 * kMaxShards + 1}) {
+    ts.emplace_back([&c, shard] {
+      pin_this_shard(shard);
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), 3u * kPerThread);
+}
+
+TEST(Metrics, ClampedPinCountsEveryOccurrenceAndWarnsOnce) {
+  const std::uint64_t before = pinning_degraded();
+  // The stderr warning is emitted only by the process-wide FIRST clamp, so
+  // only the run that gets there first can assert on it.
+  const bool first_in_process = before == 0;
+  std::thread([first_in_process] {
+    if (first_in_process) testing::internal::CaptureStderr();
+    pin_this_shard(kMaxShards);  // clamps to shard 0
+    if (first_in_process) {
+      const std::string err = testing::internal::GetCapturedStderr();
+      EXPECT_NE(err.find("pinning"), std::string::npos) << err;
+    }
+  }).join();
+  EXPECT_EQ(pinning_degraded(), before + 1);
+
+  // Later clamps count but stay quiet.
+  std::thread([] {
+    testing::internal::CaptureStderr();
+    pin_this_shard(kMaxShards + 5);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  }).join();
+  EXPECT_EQ(pinning_degraded(), before + 2);
+
+  // In-range pins never count as degraded.
+  std::thread([] { pin_this_shard(kMaxShards - 1); }).join();
+  EXPECT_EQ(pinning_degraded(), before + 2);
+}
+
+TEST(Export, JsonCarriesThePinningDegradedGauge) {
+  // Synthesized on every export so analyzers can assert attribution health
+  // even for registries with no explicit gauges.
+  Registry reg;
+  reg.counter("x").add(1);
+  const std::string json = to_json(reg, nullptr, "unit");
+  EXPECT_NE(json.find("\"obs.pinning_degraded\": "), std::string::npos);
+}
+
 // ------------------------------------------------------------------ trace --
 
 TEST(Trace, RecordsEventsInOrder) {

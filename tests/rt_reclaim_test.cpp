@@ -89,8 +89,10 @@ class ReclaimSoakEnv : public ::testing::Environment {
   void TearDown() override {
     soak_registry().gauge("soak.final_rss_kb").set(
         static_cast<std::int64_t>(vm_rss_kb()));
-    obs::write_metrics_json("rt_reclaim.metrics.json", soak_registry(),
-                            nullptr, "rt_reclaim_soak");
+    // artifact_path keeps source-dir invocations from leaking the file
+    // into the tree ($APRAM_ARTIFACT_DIR, else the test binary's dir).
+    obs::write_metrics_json(obs::artifact_path("rt_reclaim.metrics.json"),
+                            soak_registry(), nullptr, "rt_reclaim_soak");
   }
 };
 
