@@ -1,0 +1,178 @@
+// Q1 — polylog wait-free queue throughput: PolylogQueueRT vs a mutex+deque
+// baseline.
+//
+// Headline: ops/sec at a 50/50 enqueue/dequeue mix across thread counts,
+// gauge `q1.<impl>.t<threads>.mix50_50.ops_per_sec`, with per-op wall
+// latency in histogram `<cell>.op_ns` (p50/p90/p99/p99.9 in the JSON — the
+// p99 is the interesting number: the mutex baseline's tail carries the
+// convoy effect, the wait-free queue's tail is the 1+8·log2(n) access
+// bound). The polylog queue is NOT expected to beat an uncontended mutex on
+// raw throughput — a lock-free fetch-add queue would; what it buys is the
+// wait-free progress bound, and the regression gate holds the RATIO to the
+// baseline steady (--normalize, generous tolerance) rather than chasing an
+// absolute number.
+//
+// Certified traced runs: for n ∈ {4, 8, 16}, a traced workload is analyzed
+// IN-PROCESS with check_queue_op_bound (enqueue/dequeue ≤ 12·⌈log2 n⌉²
+// accesses — the Naderibeni–Ruppert O(log² n) envelope) and the binary
+// aborts on violation, so every bench run is also a certification run. The
+// n = 16 events are embedded in the metrics artifact, where CI re-checks
+// them from the outside via `apram-trace check --bound queue_op=clog2n`.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/analyze.hpp"
+#include "obs/chrome_trace.hpp"
+#include "objects/polylog_queue.hpp"
+#include "rt/thread_harness.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace apram::bench {
+namespace {
+
+// The blocking strawman: one lock, one deque. Same totalized-dequeue
+// contract as the wait-free queue (-1 on empty).
+class MutexQueue {
+ public:
+  explicit MutexQueue(int /*num_procs*/) {}
+
+  void enqueue(int /*pid*/, std::int64_t v) {
+    const std::lock_guard<std::mutex> g(mu_);
+    q_.push_back(v);
+  }
+  std::int64_t dequeue(int /*pid*/) {
+    const std::lock_guard<std::mutex> g(mu_);
+    if (q_.empty()) return -1;
+    const std::int64_t v = q_.front();
+    q_.pop_front();
+    return v;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<std::int64_t> q_;
+};
+
+std::string cell_name(const std::string& impl, int threads) {
+  return "q1." + impl + ".t" + std::to_string(threads) + ".mix50_50";
+}
+
+// 50/50 enqueue/dequeue mix; per-op latency into the cell's op_ns
+// histogram. Returns ops/sec.
+template <class Q>
+double run_mix(Q& q, int threads, std::uint64_t ops_per_thread,
+               obs::LatencyRecorder& op_ns) {
+  rt::ThroughputRun tr(threads);
+  std::vector<Rng> rngs;
+  for (int p = 0; p < threads; ++p) {
+    rngs.emplace_back(0x91ULL + static_cast<std::uint64_t>(p) * 977);
+  }
+  std::vector<std::int64_t> next(static_cast<std::size_t>(threads), 0);
+  return tr.run_ops(ops_per_thread, [&](int pid) {
+    const auto up = static_cast<std::size_t>(pid);
+    const bool is_enq = rngs[up].below(100) < 50;
+    const obs::LatencyRecorder::Timer t(op_ns);
+    if (is_enq) {
+      q.enqueue(pid, pid * 1'000'000'000LL + ++next[up]);
+    } else {
+      (void)q.dequeue(pid);
+    }
+  });
+}
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchObs bobs("bench_q1_queue_throughput", flags);
+  // 500 in the CI smoke job; the committed BENCH_q1.json uses the default.
+  const auto ops_per_thread = static_cast<std::uint64_t>(
+      flags.get_int("ops_per_thread", 6000));
+  const int max_threads = static_cast<int>(flags.get_int("max_threads", 8));
+  const std::string trace_out = flags.get_string("trace_out", "");
+  flags.check_unused();
+
+  // ---- headline: polylog queue vs mutex baseline, 50/50 mix --------------
+  Table head("Q1: FIFO queue throughput, PolylogQueueRT vs mutex+deque "
+             "(50/50 enqueue/dequeue, n = threads)",
+             {"threads", "polylog_ops_s", "mutex_ops_s", "ratio"});
+  for (int t = 1; t <= max_threads; t *= 2) {
+    obs::LatencyRecorder poly_ns(bobs.registry(),
+                                 cell_name("polylog", t) + ".op_ns");
+    PolylogQueueRT poly(t);
+    const double poly_ops = run_mix(poly, t, ops_per_thread, poly_ns);
+
+    obs::LatencyRecorder mutex_ns(bobs.registry(),
+                                  cell_name("mutex", t) + ".op_ns");
+    MutexQueue mq(t);
+    const double mutex_ops = run_mix(mq, t, ops_per_thread, mutex_ns);
+
+    bobs.registry()
+        .gauge(cell_name("polylog", t) + ".ops_per_sec")
+        .set(static_cast<std::int64_t>(poly_ops));
+    bobs.registry()
+        .gauge(cell_name("mutex", t) + ".ops_per_sec")
+        .set(static_cast<std::int64_t>(mutex_ops));
+    poly.export_reclaim_gauges(bobs.registry(), cell_name("polylog", t));
+    head.add(t)
+        .add(poly_ops, 0)
+        .add(mutex_ops, 0)
+        .add(mutex_ops > 0.0 ? poly_ops / mutex_ops : 0.0, 2)
+        .end_row();
+  }
+  head.print(std::cout);
+  std::cout << "shape: a polylog op touches 1 + 4..8·log2(n) registers "
+               "(wait-free) vs one lock round-trip (blocking); the gate "
+               "tracks the ratio, not the absolute.\n\n";
+
+  // ---- certified traced runs: n in {4, 8, 16} ----------------------------
+  // Every bench run re-derives the queue_op bound from its own trace; the
+  // n = 16 tracer is kept for the artifact so CI checks it externally too.
+  std::unique_ptr<obs::Tracer> keep;
+  for (const int n : {4, 8, 16}) {
+    auto tracer = std::make_unique<obs::Tracer>(n, /*capacity_per_ring=*/1
+                                                       << 13);
+    PolylogQueueRT q(n);
+    q.attach_obs(bobs.registry(), "q1.traced.n" + std::to_string(n),
+                 tracer.get());
+    rt::parallel_run(
+        n,
+        [&](int pid) {
+          for (int i = 0; i < 24; ++i) {
+            q.enqueue(pid, pid * 1'000LL + i);
+            if (i % 2 == 1) (void)q.dequeue(pid);
+          }
+        },
+        tracer.get());
+    const obs::TraceAnalysis a = obs::analyze(tracer->events());
+    const obs::BoundReport report = obs::check_queue_op_bound(a, n);
+    std::cout << "traced n=" << n << ": " << obs::format_report(report)
+              << "\n";
+    APRAM_CHECK_MSG(report.ok() && report.checked > 0,
+                    "queue_op bound violated (or nothing checked) on the "
+                    "traced bench_q1 run");
+    if (n == 16) keep = std::move(tracer);
+  }
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace(trace_out, keep->events(),
+                            obs::TraceTimebase::kNanoseconds,
+                            "bench_q1 traced PolylogQueueRT n=16");
+    std::cout << "traced PolylogQueueRT run (n=16): " << trace_out
+              << " — open in ui.perfetto.dev; raw events embedded in the "
+                 "metrics artifact for apram-trace.\n";
+  }
+  bobs.emit(keep.get());
+  std::cout << "\nQ1 done.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace apram::bench
+
+int main(int argc, char** argv) { return apram::bench::run(argc, argv); }

@@ -49,7 +49,7 @@
 #include "snapshot/lattice_scan.hpp"
 #include "rt/thread_harness.hpp"
 #include "snapshot/baselines/mutex_snapshot.hpp"
-#include "snapshot/tree_scan.hpp"
+#include "snapshot/tree_snapshot.hpp"
 #include "util/rng.hpp"
 
 namespace apram::bench {

@@ -39,7 +39,7 @@
 // Semantics both backends guarantee per access: reads/writes of a Reg<T> are
 // atomic (linearizable) register operations; cas() on a CasReg<T> is a
 // single atomic step comparing with T's operator== — which must identify
-// distinct writes for ABA-freedom (see snapshot/tree_scan.hpp's Stamped<T>).
+// distinct writes for ABA-freedom (see farray/farray.hpp's Stamped<T>).
 //
 // Coroutine style rule (GCC 12): every co_await sits alone in its own
 // statement — never inside a conditional expression or call argument.

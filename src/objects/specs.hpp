@@ -11,21 +11,33 @@
 //                     reads are overwritten. The building block for Lamport
 //                     logical clocks.
 //
+//   UnionFindSpec   — disjoint-set union with min-element representatives:
+//                     unions commute (partition join), queries are
+//                     overwritten by everything. Oracle for
+//                     objects/union_find.hpp, whose min-wins linking makes
+//                     find() deterministic enough to lincheck exactly.
+//
 // Negative examples (violate Property 1, hence *not* constructible from
 // reads and writes — they solve two-process consensus [23, 26]):
 //   StickyRegisterSpec — first write wins; two writes neither commute nor
 //                        overwrite.
 //   QueueSpec          — FIFO queue; enqueues neither commute nor overwrite.
+//                        (Beyond Property 1's read/write scope, it IS
+//                        implementable from CAS: objects/polylog_queue.hpp
+//                        linchecks against this spec.)
 //
 // The declared commutes/overwrites tables are validated against the
 // semantic Definitions 10–11 by tests/algebra_test.cpp.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <numeric>
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace apram {
 
@@ -174,6 +186,91 @@ struct MaxRegisterSpec {
 
   static Invocation write_max(std::int64_t v) { return {Kind::kWriteMax, v}; }
   static Invocation read() { return {Kind::kRead, 0}; }
+};
+
+// ---------------------------------------------------------------------------
+// Disjoint-set union over a fixed universe {0, …, U-1}
+// ---------------------------------------------------------------------------
+//
+// Representatives are canonical: find(x) returns the MINIMUM element of x's
+// set, matching objects/union_find.hpp's min-wins linking — so the
+// concurrent object and this sequential oracle agree response-for-response.
+template <int kUniverse = 8>
+struct UnionFindSpec {
+  enum class Kind : std::uint8_t { kUnion, kFind, kSameSet, kNumSets };
+
+  struct Invocation {
+    Kind kind = Kind::kFind;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+
+    friend bool operator==(const Invocation&, const Invocation&) = default;
+  };
+  // rep[i] = min element of i's set (so i is a representative iff
+  // rep[i] == i). Lexicographic operator< for free via std::vector.
+  using State = std::vector<std::int32_t>;
+  using Response = std::int64_t;
+
+  static State initial() {
+    State s(static_cast<std::size_t>(kUniverse));
+    std::iota(s.begin(), s.end(), 0);
+    return s;
+  }
+
+  static std::pair<State, Response> apply(const State& s,
+                                          const Invocation& inv) {
+    const auto rep = [&s](std::int32_t x) {
+      return s[static_cast<std::size_t>(x)];
+    };
+    switch (inv.kind) {
+      case Kind::kUnion: {
+        const std::int32_t ra = rep(inv.a);
+        const std::int32_t rb = rep(inv.b);
+        if (ra == rb) return {s, 0};
+        const std::int32_t lo = std::min(ra, rb);
+        const std::int32_t hi = std::max(ra, rb);
+        State next = s;
+        for (std::int32_t& r : next) {
+          if (r == hi) r = lo;
+        }
+        return {std::move(next), 0};
+      }
+      case Kind::kFind:
+        return {s, rep(inv.a)};
+      case Kind::kSameSet:
+        return {s, rep(inv.a) == rep(inv.b) ? 1 : 0};
+      case Kind::kNumSets: {
+        Response sets = 0;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+          if (s[i] == static_cast<std::int32_t>(i)) ++sets;
+        }
+        return {s, sets};
+      }
+    }
+    return {s, 0};
+  }
+
+  static bool is_query(Kind k) { return k != Kind::kUnion; }
+
+  static bool commutes(const Invocation& p, const Invocation& q) {
+    // Unions commute: merging is a join on the partition lattice.
+    if (p.kind == Kind::kUnion && q.kind == Kind::kUnion) return true;
+    return is_query(p.kind) && is_query(q.kind);
+  }
+
+  static bool overwrites(const Invocation& q, const Invocation& p) {
+    (void)q;
+    return is_query(p.kind);  // everything overwrites a query
+  }
+
+  static Invocation unite(std::int32_t a, std::int32_t b) {
+    return {Kind::kUnion, a, b};
+  }
+  static Invocation find(std::int32_t a) { return {Kind::kFind, a, 0}; }
+  static Invocation same_set(std::int32_t a, std::int32_t b) {
+    return {Kind::kSameSet, a, b};
+  }
+  static Invocation num_sets() { return {Kind::kNumSets, 0, 0}; }
 };
 
 // ---------------------------------------------------------------------------

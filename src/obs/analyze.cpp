@@ -341,6 +341,23 @@ BoundReport check_u2_help_bound(const TraceAnalysis& a, int n) {
   return report;
 }
 
+BoundReport check_queue_op_bound(const TraceAnalysis& a, int n) {
+  const int nn = effective_n(a, n);
+  BoundReport report{.name = "queue_op", .formula = bound_formula("queue_op")};
+  APRAM_CHECK_MSG(nn >= 1, "queue_op bound needs n >= 1");
+  // c·⌈log2 n⌉² with c = 12, clamped so n = 1 still has a positive budget.
+  const std::uint64_t h =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(ceil_log2(nn)));
+  const std::uint64_t bound = 12ull * h * h;
+  for (OpKind kind : {OpKind::kEnqueue, OpKind::kDequeue}) {
+    check_ops(a, kind, report, [&](const OpStats& s, BoundReport& r) {
+      if (s.accesses() > bound)
+        violation(r, s, "accesses", s.accesses(), bound, nn);
+    });
+  }
+  return report;
+}
+
 BoundReport check_scenario_op_bound(const TraceAnalysis& a) {
   BoundReport report{.name = "scenario_op",
                      .formula = bound_formula("scenario_op")};
@@ -359,6 +376,8 @@ std::string bound_formula(const std::string& name) {
   if (name == "agreement") return "(2n+1)(log2(delta/eps)+3)+8n";
   if (name == "u2_help") return "n-1";
   if (name == "scenario_op") return "1";
+  // Shorthand the CLI handshake uses for c·⌈log2 n⌉² with c = 12.
+  if (name == "queue_op") return "clog2n";
   return "";
 }
 

@@ -15,6 +15,11 @@
 //   u2_help     universal2's help discipline: a complete operation emits at
 //               most n−1 kHelp events (one per distinct helped process;
 //               WaitFreeSim dedups per own-op epoch and never helps itself)
+//   queue_op    PolylogQueue: an enqueue/dequeue completes within
+//               c·⌈log2 n⌉² shared accesses (c = 12) — the Naderibeni–
+//               Ruppert O(log² n) envelope. The register-model
+//               implementation actually sits at ≤ 2 + 8·⌈log2 n⌉, so this
+//               certifies the paper's polylog claim with generous margin.
 //
 // Truncation discipline: an op whose kOpBegin was overwritten in the ring
 // (marked kTruncated by the Tracer) or never closed has an under-counted
@@ -108,6 +113,10 @@ BoundReport check_u2_help_bound(const TraceAnalysis& a, int n = 0);
 // per-op cost contract of sim::run_scenario's generated writers, checked on
 // traced large-n scenario artifacts.
 BoundReport check_scenario_op_bound(const TraceAnalysis& a);
+// Polylog-queue ops (kEnqueue / kDequeue): accesses ≤ 12·max(1, ⌈log2 n⌉)²
+// (formula "clog2n" — c·⌈log2 n⌉², c = 12; the max(1, ·) keeps n = 1
+// meaningful).
+BoundReport check_queue_op_bound(const TraceAnalysis& a, int n = 0);
 
 // Canonical formula for a bound name ("scan" → "n^2-1"); empty for unknown
 // names. The CLI accepts `--bound name=formula` and requires the formula,

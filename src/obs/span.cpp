@@ -38,6 +38,14 @@ const char* op_kind_name(OpKind k) {
       return "u2_contains";
     case OpKind::kScenarioOp:
       return "scenario_op";
+    case OpKind::kEnqueue:
+      return "enqueue";
+    case OpKind::kDequeue:
+      return "dequeue";
+    case OpKind::kUnion:
+      return "union";
+    case OpKind::kFind:
+      return "find";
   }
   return "?";
 }
@@ -49,7 +57,8 @@ OpKind op_kind_from_name(const std::string& name) {
       OpKind::kTreeScan, OpKind::kInput,    OpKind::kOutput,
       OpKind::kExecute, OpKind::kUser,      OpKind::kU2Execute,
       OpKind::kU2Insert, OpKind::kU2Remove, OpKind::kU2Contains,
-      OpKind::kScenarioOp,
+      OpKind::kScenarioOp, OpKind::kEnqueue, OpKind::kDequeue,
+      OpKind::kUnion,    OpKind::kFind,
   };
   for (OpKind k : kAll) {
     if (name == op_kind_name(k)) return k;

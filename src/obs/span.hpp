@@ -58,6 +58,13 @@ enum class OpKind : std::uint8_t {
   // operation = one shared-memory access, so apram-trace can certify the
   // per-op cost of million-process scenario runs (`scenario_op = 1`).
   kScenarioOp,
+  // farray clients (appended — see the note above): the polylog queue
+  // (`queue_op` certifies enqueue+dequeue against the O(log² n) envelope)
+  // and the concurrent union-find.
+  kEnqueue,  // PolylogQueue enqueue (≤ 1+8·⌈log2 n⌉ accesses)
+  kDequeue,  // PolylogQueue dequeue (≤ 2+8·⌈log2 n⌉ accesses)
+  kUnion,    // UnionFind unite
+  kFind,     // UnionFind find / same_set / num_sets (queries)
 };
 
 const char* op_kind_name(OpKind k);

@@ -125,7 +125,7 @@ class BoundedSWMRRegister {
 // arbitrarily large values, bounded-memory flavour. compare_exchange
 // compares the CURRENT VALUE with T's operator== — which must identify
 // distinct writes (distinct published values never compare equal; Stamped<T>
-// in snapshot/tree_scan.hpp is the standard recipe) — and succeeds via a CAS
+// in farray/farray.hpp is the standard recipe) — and succeeds via a CAS
 // on the arena control word. The caller's own acquire pins the expected
 // version, so the control-word compare cannot ABA (a held slot cannot be
 // retired, hence cannot be reallocated and re-published). A loser returns

@@ -1,395 +1,27 @@
-// TreeScan — a wait-free lattice snapshot with polylogarithmic updates.
+// [[deprecated]] — snapshot/tree_scan.hpp is an alias kept for ONE PR.
 //
-// The Figure 5 scan costs Θ(n²) accesses per operation. Following the
-// f-array line of work (Jayanti's f-arrays; Obryk's write-and-f-array;
-// Naderibeni & Ruppert's polylog queue — see PAPERS.md), TreeScan arranges
-// the processes' contributions at the leaves of a perfect binary tree whose
-// internal nodes hold the join of their subtree:
+// The stamped-CAS tree was promoted to the reusable farray primitive
+// (farray/farray.hpp); TreeScan/TreeSnapshot live on as thin lattice
+// clients in snapshot/tree_snapshot.hpp. Every in-tree includer has been
+// migrated; this wrapper exists only so out-of-tree users get one release
+// of warning instead of a hard break, mirroring how rt/lattice_scan_rt.hpp
+// was retired (deprecated alias in PR 4, removed in PR 5).
 //
-//   update(P, v): join v into P's leaf (1 write), then walk the root path
-//                 refreshing each node to join(children) — O(log n) accesses.
-//   scan():       read the root — 1 access, independent of n.
-//
-// Layout (heap indexing over m = bit_ceil(n) leaf slots): internal nodes are
-// 1..m-1 with children of i at 2i and 2i+1; leaf p sits at slot m+p; child
-// slots ≥ m beyond n-1 are padding and read as ⊥ for free. n == 1 has no
-// internal nodes — the root IS the single leaf.
-//
-// Registers. Leaves are single-writer registers (owner joins locally, so a
-// leaf's value sequence is monotone in the lattice order). Internal nodes are
-// multi-writer CAS registers holding Stamped<Value>: a refresh reads the node
-// (cur), reads both children, and CASes {cur.seq+1, join(children)} over cur.
-// Stamped equality compares seq only; every successful CAS installs a fresh
-// seq, so value-equality identifies writes and the CAS is ABA-free (this is
-// what CASValueRegister's pointer swap and the simulator's operator== CAS
-// both require).
-//
-// Double-refresh helping lemma (why TWO attempts per node suffice): suppose
-// both of P's CASes at node u fail. Each failure means another refresh
-// installed in the window [P's node read, P's CAS]. Take W2 = the first
-// successful install after P's second node read. W2's predecessor value is
-// the one P's second read saw, which was installed no earlier than W1 (the
-// install that failed P's first CAS), so W2's child reads happen after P's
-// first node read — and hence after P completed the child level. Child
-// sequences are monotone, so W2's install covers P's contribution, and W2
-// lands before P's second CAS returns. Inductively the root contains the
-// contribution by the time update() returns.
-//
-// Node monotonicity (why scan is ONE read, not a double-collect): a
-// successful refresh at u read cur, then the children, then installed their
-// join. The previous install's child reads happened before P's node read
-// (release/acquire through the node), and child sequences are monotone, so
-// the new join dominates the old value. Root values therefore form a chain
-// in the lattice order: any two scans are comparable (the Lemma 32 property)
-// and an update's contribution appears in every scan that starts after the
-// update returns — linearizability by the same argument as Theorem 33.
-//
-// Step counts (exact for n a power of two; upper bounds otherwise, since
-// padding-leaf reads are free and h = ⌈log2 n⌉):
-//
-//   update, solo:       1 + 4h   (per level: node read + 2 child reads + CAS)
-//   update, contended:  ≤ 1 + 8h (each level retried once)
-//   scan:               1        (independent of n)
-//
-// versus Figure 5's n²−1 reads and n+1 writes per operation (§6.2).
+// Removal note: delete this header in the NEXT PR. Include
+// "snapshot/tree_snapshot.hpp" (the TreeScan/TreeSnapshot API is unchanged)
+// or "farray/farray.hpp" (the generalized tree) instead.
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <optional>
-#include <string>
-#include <utility>
-#include <vector>
+#pragma message( \
+    "snapshot/tree_scan.hpp is deprecated; include snapshot/tree_snapshot.hpp")
 
-#include "api/backend.hpp"
-#include "api/rt_backend.hpp"
-#include "api/sim_backend.hpp"
-#include "lattice/lattice.hpp"
-#include "obs/span.hpp"
-#include "util/assert.hpp"
+#include "snapshot/tree_snapshot.hpp"
 
 namespace apram::snapshot {
 
-// A value plus a write-identifying stamp. operator== compares ONLY seq: two
-// Stamped values are "equal" iff they are the same write, which is exactly
-// the identity a value-compared CAS needs to be ABA-free.
-template <class T>
-struct Stamped {
-  std::uint64_t seq = 0;
-  T v{};
-
-  friend bool operator==(const Stamped& a, const Stamped& b) {
-    return a.seq == b.seq;
-  }
-};
-
-// Tree height h = log2(bit_ceil(n)) — constexpr so tests can assert against
-// closed forms.
-constexpr int tree_scan_height(int num_procs) {
-  int m = 1;
-  int h = 0;
-  while (m < num_procs) {
-    m *= 2;
-    ++h;
-  }
-  return h;
-}
-
-// Exact when n is a power of two; an upper bound otherwise (padding-leaf
-// reads cost nothing).
-constexpr std::uint64_t tree_scan_update_solo_accesses(int num_procs) {
-  return 1 + 4ull * static_cast<std::uint64_t>(tree_scan_height(num_procs));
-}
-
-// Worst case under contention: every level needs both refresh attempts.
-constexpr std::uint64_t tree_scan_update_max_accesses(int num_procs) {
-  return 1 + 8ull * static_cast<std::uint64_t>(tree_scan_height(num_procs));
-}
-
-constexpr std::uint64_t tree_scan_scan_accesses() { return 1; }
-
-template <class B, Semilattice L>
-  requires api::BackendFor<B, typename L::Value> &&
-           api::CasBackendFor<B, Stamped<typename L::Value>>
-class TreeScan {
- public:
-  using Value = typename L::Value;
-  using Node = Stamped<Value>;
-  using Ctx = typename B::Ctx;
-  template <class T>
-  using Coro = typename B::template Coro<T>;
-
-  TreeScan(typename B::Mem& mem, int num_procs) : n_(num_procs) {
-    APRAM_CHECK(num_procs >= 1);
-    m_ = 1;
-    while (m_ < n_) m_ *= 2;
-    leaves_.reserve(static_cast<std::size_t>(n_));
-    for (int p = 0; p < n_; ++p) {
-      leaves_.push_back(&mem.template make<Value>(
-          "leaf[" + std::to_string(p) + "]", L::bottom(), /*writer=*/p));
-    }
-    nodes_.assign(static_cast<std::size_t>(m_), nullptr);
-    for (int i = 1; i < m_; ++i) {
-      nodes_[static_cast<std::size_t>(i)] = &mem.template make_cas<Node>(
-          "node[" + std::to_string(i) + "]", Node{0, L::bottom()});
-    }
-    caches_.reserve(static_cast<std::size_t>(n_));
-    for (int p = 0; p < n_; ++p) {
-      caches_.push_back(std::make_unique<Cache>());
-    }
-  }
-
-  int num_procs() const { return n_; }
-  int height() const { return tree_scan_height(n_); }
-
-  // Joins v into the lattice state; on return the contribution is visible
-  // at the root (see the helping lemma above). ≤ 1 + 8·height() accesses.
-  //
-  // Style note: every co_await sits alone in its own statement (GCC 12
-  // wrong-code workaround, as in lattice_scan.hpp).
-  Coro<void> update(Ctx ctx, Value v) {
-    const int p = ctx.pid();
-    Cache& cache = *caches_[static_cast<std::size_t>(p)];
-    ctx.op_begin(obs::OpKind::kTreeUpdate);
-    Value nv = L::join(std::move(v), cache.leaf);
-    cache.leaf = nv;
-    co_await ctx.write(leaf(p), std::move(nv));
-    int u = (m_ + p) / 2;  // 0 when m_ == 1: the leaf is the root
-    int level = 0;
-    while (u >= 1) {
-      ctx.op_phase(obs::Phase::kRefresh, level);
-      bool installed = false;
-      for (int attempt = 0; attempt < 2; ++attempt) {
-        Node cur = co_await ctx.read(node(u));
-        const int lc = 2 * u;
-        const int rc = 2 * u + 1;
-        Value joined = L::bottom();
-        if (lc >= m_) {
-          if (lc - m_ < n_) {
-            Value lv = co_await ctx.read(leaf(lc - m_));
-            joined = L::join(std::move(joined), lv);
-          }
-        } else {
-          Node ls = co_await ctx.read(node(lc));
-          joined = L::join(std::move(joined), ls.v);
-        }
-        if (rc >= m_) {
-          if (rc - m_ < n_) {
-            Value rv = co_await ctx.read(leaf(rc - m_));
-            joined = L::join(std::move(joined), rv);
-          }
-        } else {
-          Node rs = co_await ctx.read(node(rc));
-          joined = L::join(std::move(joined), rs.v);
-        }
-        Node next{cur.seq + 1, std::move(joined)};
-        bool ok = co_await ctx.cas(node(u), std::move(cur), std::move(next));
-        if (ok) {
-          installed = true;
-          break;
-        }
-      }
-      // Both CASes lost: the double-refresh lemma says a rival's install
-      // covered this contribution — the op was helped at node u.
-      if (!installed) ctx.op_help(u);
-      u /= 2;
-      ++level;
-    }
-    ctx.op_end(obs::OpKind::kTreeUpdate);
-  }
-
-  // The join of all contributions of updates that completed before the scan
-  // started (and possibly some concurrent ones). One register access.
-  Coro<Value> scan(Ctx ctx) {
-    ctx.op_begin(obs::OpKind::kTreeScan);
-    if (m_ == 1) {
-      Value v = co_await ctx.read(leaf(0));
-      ctx.op_end(obs::OpKind::kTreeScan);
-      co_return v;
-    }
-    Node root = co_await ctx.read(node(1));
-    ctx.op_end(obs::OpKind::kTreeScan);
-    co_return std::move(root.v);
-  }
-
-  Coro<Value> update_and_scan(Ctx ctx, Value v) {
-    co_await update(ctx, std::move(v));
-    Value out = co_await scan(ctx);
-    co_return out;
-  }
-
-  // Test/debug access.
-  const typename B::template Reg<Value>& leaf_at(int p) const {
-    return leaf(p);
-  }
-  const typename B::template CasReg<Node>& node_at(int i) const {
-    return node(i);
-  }
-
- private:
-  struct alignas(64) Cache {
-    Value leaf = L::bottom();  // mirror of own leaf (single writer)
-  };
-
-  typename B::template Reg<Value>& leaf(int p) const {
-    APRAM_CHECK(p >= 0 && p < n_);
-    return *leaves_[static_cast<std::size_t>(p)];
-  }
-  typename B::template CasReg<Node>& node(int i) const {
-    APRAM_CHECK(i >= 1 && i < m_);
-    return *nodes_[static_cast<std::size_t>(i)];
-  }
-
-  int n_;
-  int m_;  // bit_ceil(n): number of leaf slots of the perfect tree
-  std::vector<typename B::template Reg<Value>*> leaves_;       // [n]
-  std::vector<typename B::template CasReg<Node>*> nodes_;      // [m], 0 unused
-  std::vector<std::unique_ptr<Cache>> caches_;                 // [n]
-};
-
-// Snapshot object over the tagged-vector lattice (end of §6), tree flavour:
-// the TreeScan counterpart of AtomicSnapshotSim / AtomicSnapshotRT.
-template <class B, class T>
-class TreeSnapshot {
- public:
-  using Lattice = TaggedVectorLattice<T>;
-  using LatticeValue = typename Lattice::Value;
-  using View = std::vector<std::optional<T>>;
-  using Ctx = typename B::Ctx;
-  template <class U>
-  using Coro = typename B::template Coro<U>;
-
-  TreeSnapshot(typename B::Mem& mem, int num_procs)
-      : n_(num_procs),
-        scan_(mem, num_procs),
-        next_tag_(static_cast<std::size_t>(num_procs)) {
-    for (auto& t : next_tag_) t = std::make_unique<Tag>();
-  }
-
-  int num_procs() const { return n_; }
-
-  Coro<void> update(Ctx ctx, T v) {
-    const int p = ctx.pid();
-    const std::uint64_t tag = ++next_tag_[static_cast<std::size_t>(p)]->value;
-    LatticeValue s = Lattice::singleton(static_cast<std::size_t>(n_),
-                                        static_cast<std::size_t>(p), tag,
-                                        std::move(v));
-    co_await scan_.update(ctx, std::move(s));
-  }
-
-  Coro<View> scan(Ctx ctx) {
-    LatticeValue joined = co_await scan_.scan(ctx);
-    co_return unpack(joined);
-  }
-
-  Coro<View> update_and_scan(Ctx ctx, T v) {
-    co_await update(ctx, std::move(v));
-    LatticeValue joined = co_await scan_.scan(ctx);
-    co_return unpack(joined);
-  }
-
-  TreeScan<B, Lattice>& tree() { return scan_; }
-
- private:
-  struct alignas(64) Tag {
-    std::uint64_t value = 0;
-  };
-
-  View unpack(const LatticeValue& joined) const {
-    View view(static_cast<std::size_t>(n_));
-    for (std::size_t i = 0;
-         i < joined.size() && i < static_cast<std::size_t>(n_); ++i) {
-      if (joined[i].tag != 0) view[i] = joined[i].value;
-    }
-    return view;
-  }
-
-  int n_;
-  TreeScan<B, Lattice> scan_;
-  std::vector<std::unique_ptr<Tag>> next_tag_;
-};
-
-// --------------------------------------------------------------------------
-// rt convenience wrappers: own the Mem, expose the int-pid call style of the
-// other rt structures. Thread p may call only the p-indexed entry points'
-// update paths; scans are callable by anyone.
-
-template <Semilattice L>
-class TreeScanRT {
- public:
-  using Value = typename L::Value;
-
-  explicit TreeScanRT(int num_procs)
-      : mem_(num_procs), impl_(mem_, num_procs) {}
-
-  int num_procs() const { return impl_.num_procs(); }
-
-  void update(int p, Value v) {
-    impl_.update(api::RtBackend::Ctx{p}, std::move(v)).get();
-  }
-  Value scan(int p) { return impl_.scan(api::RtBackend::Ctx{p}).get(); }
-  Value update_and_scan(int p, Value v) {
-    return impl_.update_and_scan(api::RtBackend::Ctx{p}, std::move(v)).get();
-  }
-
-  // See api::RtBackend::Mem::attach_obs / attach_injector /
-  // reclaim_stats / export_reclaim_gauges.
-  void attach_obs(obs::Registry& registry, const std::string& name,
-                  obs::Tracer* tracer = nullptr) {
-    mem_.attach_obs(registry, name, tracer);
-  }
-  void attach_injector(fault::RtInjector* injector) {
-    mem_.attach_injector(injector);
-  }
-  rt::reclaim::ReclaimStats reclaim_stats() const {
-    return mem_.reclaim_stats();
-  }
-  void export_reclaim_gauges(obs::Registry& registry,
-                             const std::string& name) const {
-    mem_.export_reclaim_gauges(registry, name);
-  }
-
- private:
-  api::RtBackend::Mem mem_;
-  TreeScan<api::RtBackend, L> impl_;
-};
-
-template <class T>
-class TreeSnapshotRT {
- public:
-  using View = std::vector<std::optional<T>>;
-
-  explicit TreeSnapshotRT(int num_procs)
-      : mem_(num_procs), impl_(mem_, num_procs) {}
-
-  int num_procs() const { return impl_.num_procs(); }
-
-  void update(int p, T v) {
-    impl_.update(api::RtBackend::Ctx{p}, std::move(v)).get();
-  }
-  View scan(int p) { return impl_.scan(api::RtBackend::Ctx{p}).get(); }
-  View update_and_scan(int p, T v) {
-    return impl_.update_and_scan(api::RtBackend::Ctx{p}, std::move(v)).get();
-  }
-
-  void attach_obs(obs::Registry& registry, const std::string& name,
-                  obs::Tracer* tracer = nullptr) {
-    mem_.attach_obs(registry, name, tracer);
-  }
-  void attach_injector(fault::RtInjector* injector) {
-    mem_.attach_injector(injector);
-  }
-  rt::reclaim::ReclaimStats reclaim_stats() const {
-    return mem_.reclaim_stats();
-  }
-  void export_reclaim_gauges(obs::Registry& registry,
-                             const std::string& name) const {
-    mem_.export_reclaim_gauges(registry, name);
-  }
-
- private:
-  api::RtBackend::Mem mem_;
-  TreeSnapshot<api::RtBackend, T> impl_;
-};
+// Attribute-carrying marker so `-Wdeprecated-declarations` users get a
+// diagnostic even where `#pragma message` is filtered; unused otherwise.
+using tree_scan_header_is_deprecated
+    [[deprecated("include snapshot/tree_snapshot.hpp")]] = void;
 
 }  // namespace apram::snapshot

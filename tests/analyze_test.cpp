@@ -21,8 +21,9 @@
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/world.hpp"
+#include "objects/polylog_queue.hpp"
 #include "snapshot/lattice_scan.hpp"
-#include "snapshot/tree_scan.hpp"
+#include "snapshot/tree_snapshot.hpp"
 
 namespace apram::obs {
 namespace {
@@ -210,7 +211,32 @@ TEST(Analyze, BoundFormulaNamesAreStable) {
   EXPECT_EQ(bound_formula("tree_update"), "1+8ceil(log2n)");
   EXPECT_EQ(bound_formula("tree_scan"), "1");
   EXPECT_EQ(bound_formula("agreement"), "(2n+1)(log2(delta/eps)+3)+8n");
+  EXPECT_EQ(bound_formula("queue_op"), "clog2n");
   EXPECT_EQ(bound_formula("nope"), "");
+}
+
+TEST(Analyze, QueueOpBoundHoldsOnRealTracedRuns) {
+  for (int n : {2, 4, 8}) {
+    Tracer tracer(n, 1 << 12);
+    sim::World w(n, {.tracer = &tracer});
+    api::SimBackend::Mem mem(w, "q");
+    PolylogQueue<api::SimBackend> q(mem, n);
+    for (int pid = 0; pid < n; ++pid) {
+      w.spawn(pid, [&q, pid](sim::Context ctx) -> sim::ProcessTask {
+        co_await q.enqueue(ctx, pid * 10);
+        (void)co_await q.dequeue(ctx);
+      });
+    }
+    sim::RandomScheduler rs(/*seed=*/17 + n);
+    APRAM_CHECK(w.run(rs).all_done);
+
+    const auto a = analyze(tracer.events());
+    const auto report = check_queue_op_bound(a, n);
+    EXPECT_TRUE(report.ok()) << "n=" << n << ": " << format_report(report);
+    // One enqueue and one dequeue per process must have been checked.
+    EXPECT_EQ(report.checked, static_cast<std::uint64_t>(2 * n));
+    EXPECT_EQ(report.formula, bound_formula("queue_op"));
+  }
 }
 
 // --------------------------------------------------------------- JSON load --

@@ -24,4 +24,24 @@ inline constexpr std::uint64_t kU2CampaignSeeds[] = {
 inline constexpr int kNumU2CampaignSeeds =
     static_cast<int>(sizeof(kU2CampaignSeeds) / sizeof(std::uint64_t));
 
+// Polylog-queue campaigns — crash plans aimed at the helper mid-refresh
+// (a victim dies between its leaf append and the end of its root walk, and
+// survivors' double-refresh must still cover or exclude the orphan
+// coherently).
+inline constexpr std::uint64_t kQueueCampaignSeeds[] = {
+    0x5eed2001, 0x5eed2002, 0x5eed2003,
+};
+
+inline constexpr int kNumQueueCampaignSeeds =
+    static_cast<int>(sizeof(kQueueCampaignSeeds) / sizeof(std::uint64_t));
+
+// Union-find campaigns — crashes between a link CAS and the matching
+// link-counter farray write (num_sets must stay an overcount-free bound).
+inline constexpr std::uint64_t kUnionFindCampaignSeeds[] = {
+    0x5eed3001, 0x5eed3002, 0x5eed3003,
+};
+
+inline constexpr int kNumUnionFindCampaignSeeds =
+    static_cast<int>(sizeof(kUnionFindCampaignSeeds) / sizeof(std::uint64_t));
+
 }  // namespace apram::fault_seeds

@@ -37,7 +37,7 @@
 #include "obs/metrics.hpp"
 #include "rt/register.hpp"
 #include "rt/thread_harness.hpp"
-#include "snapshot/tree_scan.hpp"
+#include "snapshot/tree_snapshot.hpp"
 
 namespace apram::rt {
 namespace {

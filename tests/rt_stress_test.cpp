@@ -19,7 +19,7 @@
 #include "snapshot/lattice_scan.hpp"
 #include "rt/thread_harness.hpp"
 #include "rt_recorder.hpp"
-#include "snapshot/tree_scan.hpp"
+#include "snapshot/tree_snapshot.hpp"
 
 namespace apram::rt {
 namespace {

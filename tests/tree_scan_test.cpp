@@ -27,7 +27,7 @@
 #include "sim/explore.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/world.hpp"
-#include "snapshot/tree_scan.hpp"
+#include "snapshot/tree_snapshot.hpp"
 
 namespace apram::snapshot {
 namespace {

@@ -20,6 +20,7 @@
 //         --bound tree_scan=1
 //         --bound agreement --log_ratio <log2(delta/eps)>
 //         --bound u2_help=n-1
+//         --bound queue_op=clog2n
 //
 //       `--n N` overrides the process count (default: max pid + 1 in the
 //       trace). Exit 0 iff every requested bound checked at least one
@@ -52,7 +53,7 @@ using apram::obs::TraceAnalysis;
       "               [--n N] [--log_ratio X]\n"
       "bounds: scan[=n^2-1]  tree_update[=1+8ceil(log2n)]  tree_scan[=1]\n"
       "        agreement[=(2n+1)(log2(delta/eps)+3)+8n] (needs --log_ratio)\n"
-      "        u2_help[=n-1]  scenario_op[=1]\n");
+      "        u2_help[=n-1]  scenario_op[=1]  queue_op[=clog2n]\n");
   std::exit(2);
 }
 
@@ -76,6 +77,8 @@ int run_summary(const std::string& path) {
       OpKind::kInput,   OpKind::kOutput,     OpKind::kExecute,
       OpKind::kUser,    OpKind::kU2Execute,  OpKind::kU2Insert,
       OpKind::kU2Remove, OpKind::kU2Contains, OpKind::kScenarioOp,
+      OpKind::kEnqueue, OpKind::kDequeue,     OpKind::kUnion,
+      OpKind::kFind,
   };
   for (OpKind kind : kKinds) {
     const std::vector<const OpStats*> ops = a.complete_of(kind);
@@ -140,6 +143,8 @@ int run_check(const std::string& path, const std::vector<std::string>& bounds,
       report = apram::obs::check_u2_help_bound(a, n);
     } else if (name == "scenario_op") {
       report = apram::obs::check_scenario_op_bound(a);
+    } else if (name == "queue_op") {
+      report = apram::obs::check_queue_op_bound(a, n);
     } else {
       if (log_ratio < 0.0) {
         std::fprintf(stderr, "--bound agreement requires --log_ratio\n");
