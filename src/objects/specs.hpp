@@ -195,9 +195,14 @@ struct MaxRegisterSpec {
 // Representatives are canonical: find(x) returns the MINIMUM element of x's
 // set, matching objects/union_find.hpp's min-wins linking — so the
 // concurrent object and this sequential oracle agree response-for-response.
+//
+// Deliberately NO num_sets invocation here: the object's num_sets is an
+// overcount-free bound, not a linearizable query (its link-counter farray
+// write trails the link CAS — see union_find.hpp), so it has no exact
+// sequential semantics to check against.
 template <int kUniverse = 8>
 struct UnionFindSpec {
-  enum class Kind : std::uint8_t { kUnion, kFind, kSameSet, kNumSets };
+  enum class Kind : std::uint8_t { kUnion, kFind, kSameSet };
 
   struct Invocation {
     Kind kind = Kind::kFind;
@@ -239,13 +244,6 @@ struct UnionFindSpec {
         return {s, rep(inv.a)};
       case Kind::kSameSet:
         return {s, rep(inv.a) == rep(inv.b) ? 1 : 0};
-      case Kind::kNumSets: {
-        Response sets = 0;
-        for (std::size_t i = 0; i < s.size(); ++i) {
-          if (s[i] == static_cast<std::int32_t>(i)) ++sets;
-        }
-        return {s, sets};
-      }
     }
     return {s, 0};
   }
@@ -270,7 +268,6 @@ struct UnionFindSpec {
   static Invocation same_set(std::int32_t a, std::int32_t b) {
     return {Kind::kSameSet, a, b};
   }
-  static Invocation num_sets() { return {Kind::kNumSets, 0, 0}; }
 };
 
 // ---------------------------------------------------------------------------

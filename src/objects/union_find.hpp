@@ -1,7 +1,8 @@
 // UnionFind — a concurrent disjoint-set forest in the Jayanti–Tarjan style
 // ("Concurrent Disjoint Set Union", PODC'16 / Distributed Computing 2021):
 // a CAS-based parent forest with min-wins linking and path halving, plus an
-// FArray side-structure that makes num_sets a ONE-READ query.
+// FArray side-structure that makes num_sets a ONE-READ query (an
+// overcount-free bound, exact in quiescence — see below).
 //
 // Representation. parent[i] is a multi-writer CAS register over element
 // ids; i is a root iff parent[i] == i. Links always point the larger root
@@ -33,8 +34,27 @@
 // FArray<B, int64, SumCombiner>; the root then reads Σ links, and
 // num_sets = U − Σ links (every successful link reduces the number of sets
 // by exactly one, and link CASes never succeed twice for the same merge).
-// Linearizable because a completed unite has completed its farray write
-// (the farray helping lemma), so a later num_sets read covers it.
+//
+// num_sets is NOT linearizable — it is an overcount-free BOUND. A link
+// becomes visible to find/same_set at the link CAS, but is counted only at
+// the farray write a few steps later, and the farray leaves are per-process
+// SWMR, so no helper can complete a paused linker's write. In that window
+// same_set can observe a merge that num_sets has not yet subtracted. What
+// num_sets(r) DOES guarantee:
+//
+//   true set count at every instant of the read  ≤  r  ≤  U − (links
+//   counted before the op began),
+//
+// i.e. r never undercounts (links are counted at most once, only after
+// they succeed), r is non-increasing across reads that see later roots,
+// and in quiescence — all unites finished, none crashed mid-unite — r is
+// exact (a COMPLETED unite has completed its counter write, by the farray
+// helping lemma). A process that crashes between its link CAS and its
+// counter write inflates the bound by one permanently; the fault campaigns
+// in tests/fault_seeds.hpp exercise exactly that window. Because of this,
+// num_sets is NOT part of the exact lincheck spec (UnionFindSpec covers
+// unite/find/same_set only); its bound semantics are pinned by a targeted
+// paused-linker schedule in queue_uf_test.cpp.
 #pragma once
 
 #include <algorithm>
@@ -138,8 +158,11 @@ class UnionFind {
     co_return result;
   }
 
-  // Number of sets, in ONE shared read beyond the span bookkeeping:
-  // U − (sum of successful links) off the FArray root.
+  // Overcount-free bound on the number of sets, in ONE shared read beyond
+  // the span bookkeeping: U − (sum of counted links) off the FArray root.
+  // Never less than the true set count; exact in quiescence; may lag a
+  // concurrent (or crashed) unite whose link CAS landed but whose counter
+  // write has not — see the header comment. NOT linearizable.
   Coro<std::int64_t> num_sets(Ctx ctx) {
     ctx.op_begin(obs::OpKind::kFind);
     std::int64_t total_links = co_await links_.read_f(ctx);

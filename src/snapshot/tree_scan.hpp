@@ -12,8 +12,16 @@
 // or "farray/farray.hpp" (the generalized tree) instead.
 #pragma once
 
+// Clang emits #pragma message as a WARNING (-W#pragma-messages), which
+// -Werror escalates to a hard build break — exactly what this grace-period
+// header exists to avoid. So the nudge is opt-out: -Werror consumers define
+// APRAM_SILENCE_TREE_SCAN_DEPRECATION (or -Wno-#pragma-messages) and keep
+// building until the removal PR.
+#ifndef APRAM_SILENCE_TREE_SCAN_DEPRECATION
 #pragma message( \
-    "snapshot/tree_scan.hpp is deprecated; include snapshot/tree_snapshot.hpp")
+    "snapshot/tree_scan.hpp is deprecated; include snapshot/tree_snapshot.hpp" \
+    " (define APRAM_SILENCE_TREE_SCAN_DEPRECATION to silence)")
+#endif
 
 #include "snapshot/tree_snapshot.hpp"
 

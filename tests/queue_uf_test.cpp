@@ -8,8 +8,11 @@
 //   multi-thread smoke with per-producer FIFO order.
 //
 //   union-find: agreement with the sequential oracle on the full same-set
-//   matrix, one-read num_sets, linearizability against UnionFindSpec, and
-//   a seeded fault campaign with the (bounded, see union_find.hpp) retry
+//   matrix, linearizability of unite/find/same_set against UnionFindSpec,
+//   one-read num_sets checked as an overcount-free bound (exact in
+//   quiescence, pinned by a targeted paused-linker schedule — num_sets is
+//   deliberately NOT in the lincheck spec, see union_find.hpp), and a
+//   seeded fault campaign with the (bounded, see union_find.hpp) retry
 //   budget.
 #include <gtest/gtest.h>
 
@@ -401,7 +404,11 @@ TEST(UnionFind, ConcurrentUnionsMatchTheOracleMatrixAndOneReadNumSets) {
 }
 
 // ---------------------------------------------------------------------------
-// Union-find: linearizability against the exact sequential spec.
+// Union-find: unite/find/same_set linearize against the exact sequential
+// spec. num_sets rides along in the mix but is NOT recorded into the
+// lincheck history (it has no exact sequential semantics — union_find.hpp);
+// instead every concurrent observation is checked against its bound
+// contract: final true count ≤ r ≤ U, and exact once quiescent.
 // ---------------------------------------------------------------------------
 
 TEST(UnionFind, RandomScheduleHistoriesAreLinearizable) {
@@ -411,6 +418,8 @@ TEST(UnionFind, RandomScheduleHistoriesAreLinearizable) {
     api::SimBackend::Mem mem(w, "uf");
     SimUF uf(mem, n, 8);
     HistoryRecorder<UFSpec> rec;
+    std::vector<std::pair<std::int32_t, std::int32_t>> united;
+    std::vector<std::int64_t> numset_obs;
     for (int pid = 0; pid < n; ++pid) {
       w.spawn(pid, [&, pid](Context ctx) -> ProcessTask {
         Rng rng(seed * 313 + static_cast<std::uint64_t>(pid));
@@ -423,6 +432,7 @@ TEST(UnionFind, RandomScheduleHistoriesAreLinearizable) {
             const auto tok = rec.begin(pid, inv, ctx.world().global_step());
             co_await uf.unite(ctx, a, b);
             rec.end(tok, 0, ctx.world().global_step());
+            united.emplace_back(a, b);
           } else if (dice < 0.6) {
             const auto inv = UFSpec::find(a);
             const auto tok = rec.begin(pid, inv, ctx.world().global_step());
@@ -434,10 +444,7 @@ TEST(UnionFind, RandomScheduleHistoriesAreLinearizable) {
             const bool r = co_await uf.same_set(ctx, a, b);
             rec.end(tok, r ? 1 : 0, ctx.world().global_step());
           } else {
-            const auto inv = UFSpec::num_sets();
-            const auto tok = rec.begin(pid, inv, ctx.world().global_step());
-            const std::int64_t r = co_await uf.num_sets(ctx);
-            rec.end(tok, r, ctx.world().global_step());
+            numset_obs.push_back(co_await uf.num_sets(ctx));
           }
         }
       });
@@ -445,6 +452,76 @@ TEST(UnionFind, RandomScheduleHistoriesAreLinearizable) {
     sim::RandomScheduler sched(seed, /*stickiness=*/0.2);
     ASSERT_TRUE(w.run(sched).all_done);
     EXPECT_TRUE(is_linearizable<UFSpec>(rec.ops())) << "seed=" << seed;
+
+    // Bound contract for the concurrent num_sets observations: the true
+    // count only decreases over a run, and r never undercounts, so every
+    // observation sits in [final true count, U].
+    Oracle oracle(8);
+    for (const auto& [a, b] : united) oracle.unite(a, b);
+    for (const std::int64_t r : numset_obs) {
+      EXPECT_GE(r, oracle.sets()) << "seed=" << seed;
+      EXPECT_LE(r, 8) << "seed=" << seed;
+    }
+    // Quiescent (every unite completed, none crashed): exact.
+    std::int64_t final_sets = -1;
+    w.spawn(0, [&](Context ctx) -> ProcessTask {
+      final_sets = co_await uf.num_sets(ctx);
+    });
+    w.run_solo(0);
+    EXPECT_EQ(final_sets, oracle.sets()) << "seed=" << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Union-find: num_sets bound semantics, pinned. Pause a unite in the exact
+// window between its link CAS and its link-counter farray write: same_set
+// already observes the merge while num_sets still reports the pre-union
+// count — the history an exact num_sets spec would reject, and precisely
+// what the bound contract allows. Resuming the linker restores exactness;
+// crashing it instead pins the permanent inflation (the counter leaf is
+// SWMR, so nobody can ever complete the crashed linker's write).
+// ---------------------------------------------------------------------------
+
+TEST(UnionFind, NumSetsIsAnOvercountFreeBoundInTheLinkCounterWindow) {
+  for (const bool crash_linker : {false, true}) {
+    const int kUniverse = 4;
+    World w(2);
+    api::SimBackend::Mem mem(w, "uf");
+    SimUF uf(mem, 2, kUniverse);
+
+    w.spawn(0, [&](Context ctx) -> ProcessTask {
+      co_await uf.unite(ctx, 0, 1);
+    });
+    // Solo unite(0,1) on a fresh forest: read parent[0], read parent[1],
+    // link CAS — exactly 3 accesses. Grant exactly those; pid 0 is now
+    // suspended AT its farray leaf write: linked, not yet counted.
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(w.step(0));
+
+    const auto query = [&](std::int64_t& sets_out, bool& same_out) {
+      w.spawn(1, [&](Context ctx) -> ProcessTask {
+        same_out = co_await uf.same_set(ctx, 0, 1);
+        sets_out = co_await uf.num_sets(ctx);
+      });
+      w.run_solo(1);
+    };
+
+    bool same = false;
+    std::int64_t sets = -1;
+    query(sets, same);
+    EXPECT_TRUE(same);           // the link CAS is visible...
+    EXPECT_EQ(sets, kUniverse);  // ...but not yet counted: bound, not truth.
+
+    if (crash_linker) {
+      w.crash(0);
+      query(sets, same);
+      EXPECT_TRUE(same);
+      EXPECT_EQ(sets, kUniverse);  // inflated by one, permanently
+    } else {
+      ASSERT_TRUE(w.run_solo(0).all_done);  // leaf write + refresh walk
+      query(sets, same);
+      EXPECT_TRUE(same);
+      EXPECT_EQ(sets, kUniverse - 1);  // quiescent again: exact
+    }
   }
 }
 
