@@ -92,9 +92,10 @@ BENCHMARK(BM_CasRegisterSwapUnbounded);
 // (the budget documented in DESIGN.md).
 void BM_RegisterReadProbed(benchmark::State& state) {
   auto& reg = bench_registry();
-  obs::RtProbe probe{&reg.counter("micro.probed.reads"),
-                     &reg.counter("micro.probed.writes"),
-                     &reg.counter("micro.probed.cas"), nullptr, 0};
+  obs::RtProbe probe{.reads = &reg.counter("micro.probed.reads"),
+                     .writes = &reg.counter("micro.probed.writes"),
+                     .cas_ops = &reg.counter("micro.probed.cas"),
+                     .object = 0};
   SWMRRegister<std::int64_t> r(42);
   r.attach_probe(&probe);
   for (auto _ : state) {
@@ -105,9 +106,10 @@ BENCHMARK(BM_RegisterReadProbed);
 
 void BM_RegisterWriteProbed(benchmark::State& state) {
   auto& reg = bench_registry();
-  obs::RtProbe probe{&reg.counter("micro.probed.reads"),
-                     &reg.counter("micro.probed.writes"),
-                     &reg.counter("micro.probed.cas"), nullptr, 0};
+  obs::RtProbe probe{.reads = &reg.counter("micro.probed.reads"),
+                     .writes = &reg.counter("micro.probed.writes"),
+                     .cas_ops = &reg.counter("micro.probed.cas"),
+                     .object = 0};
   SWMRRegister<std::int64_t> r(0);
   r.attach_probe(&probe);
   std::int64_t i = 0;

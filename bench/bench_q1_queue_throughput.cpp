@@ -94,7 +94,7 @@ int run(int argc, char** argv) {
   // 500 in the CI smoke job; the committed BENCH_q1.json uses the default.
   const auto ops_per_thread = static_cast<std::uint64_t>(
       flags.get_int("ops_per_thread", 6000));
-  const int max_threads = static_cast<int>(flags.get_int("max_threads", 8));
+  const int max_threads = static_cast<int>(flags.get_int("max_threads", 32));
   const std::string trace_out = flags.get_string("trace_out", "");
   flags.check_unused();
 
@@ -120,6 +120,10 @@ int run(int argc, char** argv) {
         .gauge(cell_name("mutex", t) + ".ops_per_sec")
         .set(static_cast<std::int64_t>(mutex_ops));
     poly.export_reclaim_gauges(bobs.registry(), cell_name("polylog", t));
+    // Per-level contention of the queue's FArray log tree (see bench_t1 for
+    // the schema) — where enqueue-side CAS races sit as threads scale.
+    poly.export_contention_gauges(bobs.registry(),
+                                  "farray." + cell_name("polylog", t));
     head.add(t)
         .add(poly_ops, 0)
         .add(mutex_ops, 0)

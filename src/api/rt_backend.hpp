@@ -136,19 +136,22 @@ struct RtBackend {
     }
 
     // Instruments every register created so far: aggregate counters
-    // "rt.<name>.reads" / ".writes" / ".cas" in `registry`, plus per-access
-    // trace events (object id = creation order) when `tracer` is non-null.
-    // Attach before concurrent use; registry/tracer must outlive this Mem.
+    // "rt.<name>.reads" / ".writes" / ".cas" / ".cas_fail" (lost CASes) in
+    // `registry`, plus per-access trace events (object id = creation order)
+    // when `tracer` is non-null. Attach before concurrent use;
+    // registry/tracer must outlive this Mem.
     void attach_obs(obs::Registry& registry, const std::string& name,
                     obs::Tracer* tracer = nullptr) {
       obs::Counter* reads = &registry.counter("rt." + name + ".reads");
       obs::Counter* writes = &registry.counter("rt." + name + ".writes");
       obs::Counter* cas = &registry.counter("rt." + name + ".cas");
+      obs::Counter* cas_fail = &registry.counter("rt." + name + ".cas_fail");
       for (std::size_t i = 0; i < holders_.size(); ++i) {
         HolderBase& h = *holders_[i];
         h.probe.reads = reads;
         h.probe.writes = writes;
         h.probe.cas_ops = cas;
+        h.probe.cas_failures = cas_fail;
         h.probe.tracer = tracer;
         h.probe.object = static_cast<std::int32_t>(i);
         h.attach_probe(&h.probe);

@@ -62,6 +62,7 @@
 
 #include "algebra/combiner.hpp"
 #include "api/backend.hpp"
+#include "obs/contention.hpp"
 #include "obs/span.hpp"
 #include "util/assert.hpp"
 
@@ -162,6 +163,16 @@ class FArrayTree {
       nodes_[static_cast<std::size_t>(i)] = &mem.template make_cas<Node>(
           "node[" + std::to_string(i) + "]", Node{0, R::identity()});
     }
+    // Contention cells mirror the heap indexing (cell u = node u; cell 0
+    // unused). Node u sits at depth ⌊log2 u⌋, so its refresh level — the
+    // loop counter in refresh_path — is height−1−depth (root = top level).
+    contention_ = obs::NodeContention(m_, n_);
+    const int h = height();
+    for (int i = 1; i < m_; ++i) {
+      int depth = 0;
+      for (int v = i; v > 1; v /= 2) ++depth;
+      contention_.set_level(i, h - 1 - depth);
+    }
   }
 
   int num_procs() const { return n_; }
@@ -188,6 +199,7 @@ class FArrayTree {
     while (u >= 1) {
       ctx.op_phase(obs::Phase::kRefresh, level);
       bool installed = false;
+      int installed_attempt = -1;
       for (int attempt = 0; attempt < 2; ++attempt) {
         Node cur = co_await ctx.read(node(u));
         const int lc = 2 * u;
@@ -216,12 +228,21 @@ class FArrayTree {
         bool ok = co_await ctx.cas(node(u), std::move(cur), std::move(next));
         if (ok) {
           installed = true;
+          installed_attempt = attempt;
           break;
         }
       }
       // Both CASes lost: the double-refresh lemma says a rival's install
       // covered this contribution — the op was helped at node u.
       if (!installed) ctx.op_help(u);
+      // Contention telemetry: process-local relaxed counters, zero model
+      // registers touched (compiled out under APRAM_OBS_CONTENTION=OFF).
+      contention_.on_level_walk(
+          p, u,
+          !installed ? obs::WalkOutcome::kHelped
+                     : (installed_attempt == 0
+                            ? obs::WalkOutcome::kFirstRefresh
+                            : obs::WalkOutcome::kSecondRefresh));
       u /= 2;
       ++level;
     }
@@ -246,6 +267,14 @@ class FArrayTree {
     return node(i);
   }
 
+  // Per-node contention telemetry (obs/contention.hpp); cell u = heap node
+  // u. Exact at quiescence; empty/no-op when compiled out.
+  const obs::NodeContention& contention() const { return contention_; }
+  void export_contention_gauges(obs::Registry& registry,
+                                const std::string& prefix) const {
+    contention_.export_gauges(registry, prefix);
+  }
+
  private:
   typename B::template Reg<Value>& leaf(int p) const {
     APRAM_CHECK(p >= 0 && p < n_);
@@ -260,6 +289,7 @@ class FArrayTree {
   int m_;  // bit_ceil(n): number of leaf slots of the perfect tree
   std::vector<typename B::template Reg<Value>*> leaves_;   // [n]
   std::vector<typename B::template CasReg<Node>*> nodes_;  // [m], 0 unused
+  mutable obs::NodeContention contention_;  // cell u = node u, 0 unused
 };
 
 // The public f-array: FArray<B, T, F> maintains f(leaf_0, …, leaf_{n-1})

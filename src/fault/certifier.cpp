@@ -8,6 +8,7 @@
 
 #include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/replay_artifact.hpp"
 #include "util/assert.hpp"
@@ -65,6 +66,19 @@ void run_one(const sim::ExecutionFactory& factory, const Judge& judge,
   wopts.tracer = tracer.get();
   w.apply_options(wopts);
 
+  // Flight recorder: the violation branch dumps through it, and installing
+  // it as the process panic recorder means a lincheck failure (or any
+  // panic_dump caller) inside the judge freezes THIS run's trace + metrics.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!opts.artifact_dir.empty()) {
+    std::filesystem::create_directories(opts.artifact_dir);
+    recorder = std::make_unique<obs::FlightRecorder>(
+        &registry, tracer.get(),
+        "violation-seed" + std::to_string(seed) + ".flight");
+    recorder->set_dir(opts.artifact_dir);
+    obs::set_panic_recorder(recorder.get());
+  }
+
   const FaultPlan plan = random_plan(rng, w.num_procs(), opts.plan);
 
   sim::RandomScheduler random(sched_seed, stickiness);
@@ -83,27 +97,32 @@ void run_one(const sim::ExecutionFactory& factory, const Judge& judge,
   } else if (judge) {
     what = judge(*exec);
   }
-  if (what.empty()) return;
+  if (what.empty()) {
+    if (recorder != nullptr) obs::set_panic_recorder(nullptr);
+    return;
+  }
 
   Violation v;
   v.seed = seed;
   v.what = what;
   v.schedule = rec.picks();
   if (!opts.artifact_dir.empty()) {
-    std::filesystem::create_directories(opts.artifact_dir);
     const std::string stem =
         opts.artifact_dir + "/violation-seed" + std::to_string(seed);
+    // The replay artifact is the scheduler's OWN recording — complete from
+    // grant zero, unlike the flight dump's trace-derived schedule, which
+    // covers only the events the rings still held.
     v.artifact_path = stem + ".schedule";
     obs::write_schedule_file(
         v.artifact_path, v.schedule,
         {"seed " + std::to_string(seed), "violation: " + what,
          plan.describe()});
-    obs::write_metrics_json(stem + ".metrics.json", registry, tracer.get(),
-                            "fault-campaign seed " + std::to_string(seed));
+    v.flight_path = recorder->dump(what);
     obs::write_chrome_trace(stem + ".trace.json", tracer->events(),
                             obs::TraceTimebase::kSimSteps,
                             "fault-campaign seed " + std::to_string(seed));
   }
+  if (recorder != nullptr) obs::set_panic_recorder(nullptr);
   result.violations.push_back(std::move(v));
 }
 

@@ -56,6 +56,7 @@ struct Violation {
   std::string what;
   std::vector<int> schedule;   // the full recorded interleaving
   std::string artifact_path;   // "" when artifact emission is disabled
+  std::string flight_path;     // flight-recorder metrics dump (obs/flight.hpp)
 };
 
 struct CampaignResult {

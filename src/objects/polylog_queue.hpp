@@ -199,6 +199,11 @@ class PolylogQueue {
   // Test/debug: the agreed total order so far (root chain length).
   Tree& tree() { return tree_; }
 
+  void export_contention_gauges(obs::Registry& registry,
+                                const std::string& prefix) const {
+    tree_.export_contention_gauges(registry, prefix);
+  }
+
  private:
   struct alignas(64) Local {
     QueueChain leaf;            // mirror of own leaf register (single writer)
@@ -297,6 +302,10 @@ class PolylogQueueRT {
   void export_reclaim_gauges(obs::Registry& registry,
                              const std::string& name) const {
     mem_.export_reclaim_gauges(registry, name);
+  }
+  void export_contention_gauges(obs::Registry& registry,
+                                const std::string& prefix) const {
+    impl_.export_contention_gauges(registry, prefix);
   }
 
  private:

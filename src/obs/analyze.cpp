@@ -5,6 +5,7 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -170,6 +171,23 @@ struct Cursor {
     i = end;
     return v;
   }
+
+  // Histogram summaries (mean, percentiles) are streamed with default
+  // ostream float formatting — "12.3", "1.2e+07" — so this accepts the
+  // full [-+0-9.eE] alphabet and lets stod validate.
+  double float_number() {
+    skip_ws();
+    std::size_t end = i;
+    auto in_float = [&](char c) {
+      return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+             c == '+' || c == '.' || c == 'e' || c == 'E';
+    };
+    while (end < s.size() && in_float(s[end])) ++end;
+    APRAM_CHECK_MSG(end > i, "malformed metrics JSON: expected a number");
+    const double v = std::stod(s.substr(i, end - i));
+    i = end;
+    return v;
+  }
 };
 
 }  // namespace
@@ -222,6 +240,282 @@ std::vector<TraceEvent> load_events_json(const std::string& path) {
   } while (cur.consume(','));
   cur.expect(']');
   return events;
+}
+
+bool metrics_json_has_events(const std::string& path) {
+  std::ifstream in(path);
+  // A probe, not a loader: an unreadable file is "no events here" — the
+  // loud abort belongs to whichever loader the caller picks next.
+  if (!in.good()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str().find("\"events\"") != std::string::npos;
+}
+
+MetricsDoc load_metrics_json(const std::string& path) {
+  std::ifstream in(path);
+  APRAM_CHECK_MSG(in.good(), "cannot open metrics artifact");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  MetricsDoc doc;
+
+  // The exporter's layout is fixed: optional "name" first, then the three
+  // metric sections. Each is located by its literal header — fine for a
+  // reader of our own writer, loud (APRAM_CHECK) on anything else.
+  if (const std::size_t at = text.find("\"name\": ");
+      at != std::string::npos && at < text.find("\"counters\"")) {
+    Cursor cur{text, at + std::string("\"name\": ").size()};
+    doc.name = cur.string_lit();
+  }
+
+  auto section = [&](const char* header) {
+    const std::size_t at = text.find(header);
+    APRAM_CHECK_MSG(at != std::string::npos,
+                    "metrics artifact is missing a metric section");
+    Cursor cur{text, at + std::string(header).size()};
+    cur.expect(':');
+    cur.expect('{');
+    return cur;
+  };
+
+  {
+    Cursor cur = section("\"counters\"");
+    cur.skip_ws();
+    if (!cur.consume('}')) {
+      do {
+        const std::string key = cur.string_lit();
+        cur.expect(':');
+        doc.counters[key] = static_cast<std::uint64_t>(cur.number());
+      } while (cur.consume(','));
+      cur.expect('}');
+    }
+  }
+  {
+    Cursor cur = section("\"gauges\"");
+    cur.skip_ws();
+    if (!cur.consume('}')) {
+      do {
+        const std::string key = cur.string_lit();
+        cur.expect(':');
+        doc.gauges[key] = cur.number();
+      } while (cur.consume(','));
+      cur.expect('}');
+    }
+  }
+  {
+    Cursor cur = section("\"histograms\"");
+    cur.skip_ws();
+    if (!cur.consume('}')) {
+      do {
+        const std::string name = cur.string_lit();
+        cur.expect(':');
+        cur.expect('{');
+        MetricsDoc::HistSummary h;
+        do {
+          const std::string key = cur.string_lit();
+          cur.expect(':');
+          if (key == "count") {
+            h.count = static_cast<std::uint64_t>(cur.number());
+          } else if (key == "sum") {
+            h.sum = static_cast<std::uint64_t>(cur.number());
+          } else if (key == "mean") {
+            h.mean = cur.float_number();
+          } else if (key == "p50") {
+            h.p50 = cur.float_number();
+          } else if (key == "p90") {
+            h.p90 = cur.float_number();
+          } else if (key == "p99") {
+            h.p99 = cur.float_number();
+          } else if (key == "p999") {
+            h.p999 = cur.float_number();
+          } else if (key == "buckets") {
+            cur.expect('[');
+            cur.skip_ws();
+            if (!cur.consume(']')) {
+              do {
+                cur.expect('[');
+                cur.number();
+                cur.expect(',');
+                cur.number();
+                cur.expect(']');
+              } while (cur.consume(','));
+              cur.expect(']');
+            }
+          } else {
+            APRAM_CHECK_MSG(false,
+                            "malformed metrics JSON: unknown histogram key");
+          }
+        } while (cur.consume(','));
+        cur.expect('}');
+        doc.histograms[name] = h;
+      } while (cur.consume(','));
+      cur.expect('}');
+    }
+  }
+  return doc;
+}
+
+// --- contention heatmap ----------------------------------------------------
+
+namespace {
+
+// One in-flight refresh level of one operation (see the header comment on
+// contention_heatmap for the event grammar).
+struct LevelSegment {
+  int level = -1;
+  int node = -1;  // register id of the CAS target
+  int attempts = 0;
+  int installed_attempt = -1;  // -1 = no successful CAS in this segment
+};
+
+void finalize_segment(ContentionHeatmap& hm, LevelSegment& seg) {
+  if (seg.level < 0) return;
+  if (hm.levels.size() <= static_cast<std::size_t>(seg.level)) {
+    hm.levels.resize(static_cast<std::size_t>(seg.level) + 1);
+  }
+  ContentionTotals t;
+  t.cas_attempts = static_cast<std::uint64_t>(seg.attempts);
+  t.cas_failures = static_cast<std::uint64_t>(
+      seg.attempts - (seg.installed_attempt >= 0 ? 1 : 0));
+  if (seg.installed_attempt == 0) {
+    t.first_refresh = 1;
+  } else if (seg.installed_attempt >= 1) {
+    t.second_refresh = 1;
+  } else {
+    t.helped = 1;  // no CAS of this walk installed — a rival covered it
+  }
+  hm.levels[static_cast<std::size_t>(seg.level)] += t;
+  if (seg.node >= 0) {
+    hm.nodes[seg.node] += t;
+    hm.node_level[seg.node] = seg.level;
+  }
+  seg = LevelSegment{};
+}
+
+}  // namespace
+
+ContentionHeatmap contention_heatmap(const std::vector<TraceEvent>& events) {
+  ContentionHeatmap hm;
+  std::map<std::uint64_t, LevelSegment> open;  // op → current level segment
+  std::map<std::uint64_t, bool> walked;        // op saw ≥ 1 refresh phase
+
+  for (const TraceEvent& ev : events) {
+    if (ev.op == 0) continue;
+    switch (ev.kind) {
+      case EventKind::kPhase: {
+        LevelSegment& seg = open[ev.op];
+        finalize_segment(hm, seg);
+        if (static_cast<Phase>(ev.arg) == Phase::kRefresh) {
+          seg.level = ev.object;
+          walked[ev.op] = true;
+        }
+        break;
+      }
+      case EventKind::kCas: {
+        auto it = open.find(ev.op);
+        if (it == open.end() || it->second.level < 0) break;
+        LevelSegment& seg = it->second;
+        seg.node = ev.object;
+        if (ev.arg != 0 && seg.installed_attempt < 0) {
+          seg.installed_attempt = seg.attempts;
+        }
+        ++seg.attempts;
+        break;
+      }
+      case EventKind::kOpEnd:
+      case EventKind::kTruncated: {
+        auto it = open.find(ev.op);
+        if (it != open.end()) {
+          finalize_segment(hm, it->second);
+          open.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (auto& [op, seg] : open) finalize_segment(hm, seg);
+  for (const auto& [op, w] : walked) {
+    if (w) ++hm.refresh_ops;
+  }
+  return hm;
+}
+
+int ContentionHeatmap::peak_level() const {
+  int peak = -1;
+  double best = -1.0;
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    if (levels[l].walks() == 0) continue;
+    const double r = levels[l].double_refresh_rate();
+    if (r >= best) {  // ties → the higher level (closer to the root)
+      best = r;
+      peak = static_cast<int>(l);
+    }
+  }
+  return peak;
+}
+
+// --- help graph ------------------------------------------------------------
+
+namespace {
+
+bool is_u2_kind(OpKind k) {
+  return k == OpKind::kU2Execute || k == OpKind::kU2Insert ||
+         k == OpKind::kU2Remove || k == OpKind::kU2Contains;
+}
+
+}  // namespace
+
+HelpGraph help_graph(const std::vector<TraceEvent>& events) {
+  HelpGraph g;
+  // Pass 1: op → kind (begins and self-describing ends both carry it).
+  std::map<std::uint64_t, OpKind> kind_of;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == EventKind::kOpBegin || ev.kind == EventKind::kOpEnd) {
+      kind_of[ev.op] = static_cast<OpKind>(ev.arg);
+    }
+  }
+  // Pass 2: u2 kHelp edges — helper = event pid, helped = event object.
+  std::map<std::uint64_t, std::set<int>> helped_of_op;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind != EventKind::kHelp || ev.op == 0) continue;
+    auto it = kind_of.find(ev.op);
+    if (it == kind_of.end() || !is_u2_kind(it->second)) continue;
+    const int helper = ev.pid;
+    const int helped = ev.object;
+    if (helper < 0 || helped < 0) continue;
+    ++g.edges[{helper, helped}];
+    ++g.total_helps;
+    g.num_pids = std::max(g.num_pids, std::max(helper, helped) + 1);
+    helped_of_op[ev.op].insert(helped);
+  }
+  for (const auto& [op, kind] : kind_of) {
+    if (is_u2_kind(kind)) ++g.ops_seen;
+  }
+  for (const auto& [op, helped] : helped_of_op) {
+    g.max_distinct_helped =
+        std::max(g.max_distinct_helped, static_cast<std::uint64_t>(helped.size()));
+  }
+  return g;
+}
+
+std::uint64_t HelpGraph::given(int pid) const {
+  std::uint64_t t = 0;
+  for (const auto& [edge, count] : edges) {
+    if (edge.first == pid) t += count;
+  }
+  return t;
+}
+
+std::uint64_t HelpGraph::received(int pid) const {
+  std::uint64_t t = 0;
+  for (const auto& [edge, count] : edges) {
+    if (edge.second == pid) t += count;
+  }
+  return t;
 }
 
 // --- bound checks ----------------------------------------------------------

@@ -31,9 +31,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/contention.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 
@@ -80,6 +83,81 @@ TraceAnalysis analyze(const std::vector<TraceEvent>& events);
 // obs::write_metrics_json (aborts on a file/shape it cannot read — a CI
 // check must fail loudly, not skip).
 std::vector<TraceEvent> load_events_json(const std::string& path);
+
+// True iff the artifact is readable and carries a (possibly empty) "events"
+// array. Lets callers fall back to gauge-derived analysis for artifacts
+// exported without a tracer; unreadable files probe false (the loud abort
+// belongs to whichever loader runs next).
+bool metrics_json_has_events(const std::string& path);
+
+// Scalar view of a whole metrics JSON artifact (obs/export.hpp schema):
+// counters, gauges, and histogram summaries by name. Bucket arrays are
+// skipped — diffing and gauge-derived heatmaps only need the summaries.
+struct MetricsDoc {
+  struct HistSummary {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double mean = 0, p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+  };
+
+  std::string name;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistSummary> histograms;
+};
+
+// Aborts on a file/shape it cannot read (same loud-failure contract as
+// load_events_json).
+MetricsDoc load_metrics_json(const std::string& path);
+
+// --- contention heatmap ----------------------------------------------------
+//
+// Re-derives the per-level contention profile that obs::NodeContention
+// counts online, but from a trace alone: every farray refresh level opens
+// with a kPhase(kRefresh, level) event, the 1–2 CAS attempts that follow
+// (until the next phase or the op's end) belong to that level, and a kHelp
+// event means both attempts lost. So the trace carries exactly the
+// first/second-refresh split the telemetry counters record — computing it
+// both ways and comparing is the cross-check obs_test uses.
+//
+// Per-node rows are keyed by the CAS target's REGISTER id (ev.object of the
+// kCas event) — the trace does not know tree-heap indices, only registers;
+// within one structure the map is injective, so relative hotness per node
+// is faithful.
+struct ContentionHeatmap {
+  std::vector<ContentionTotals> levels;   // [level], from kPhase(kRefresh, l)
+  std::map<int, ContentionTotals> nodes;  // register id → totals
+  std::map<int, int> node_level;          // register id → level observed
+  std::uint64_t refresh_ops = 0;          // ops that walked ≥ 1 level
+
+  // Level with the highest double-refresh rate (ties → the higher level);
+  // -1 when no level saw a walk. In a contended farray run this is the
+  // root: every updater's walk ends there, so CAS races concentrate at the
+  // top — the acceptance check for the t16 bench heatmap.
+  int peak_level() const;
+};
+
+ContentionHeatmap contention_heatmap(const std::vector<TraceEvent>& events);
+
+// --- help graph ------------------------------------------------------------
+//
+// Who-helped-whom adjacency for universal2 operations. In a u2 span, a
+// kHelp event's pid is the HELPER (the process whose own op did the work)
+// and its object is the HELPED pid (WaitFreeSim dedups per own-op epoch, so
+// an op contributes each helped pid at most once). Farray kHelp events
+// (object = tree node, not a pid) are excluded by op kind.
+struct HelpGraph {
+  int num_pids = 0;  // max pid appearing as helper or helped, + 1
+  std::map<std::pair<int, int>, std::uint64_t> edges;  // (helper, helped)
+  std::uint64_t total_helps = 0;
+  std::uint64_t ops_seen = 0;              // u2 ops in the trace
+  std::uint64_t max_distinct_helped = 0;   // max per-op distinct helped pids
+
+  std::uint64_t given(int pid) const;     // Σ edges[(pid, *)]
+  std::uint64_t received(int pid) const;  // Σ edges[(*, pid)]
+};
+
+HelpGraph help_graph(const std::vector<TraceEvent>& events);
 
 // --- bound checks ----------------------------------------------------------
 

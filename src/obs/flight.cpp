@@ -1,0 +1,82 @@
+#include "obs/flight.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "obs/analyze.hpp"
+#include "obs/export.hpp"
+#include "obs/replay_artifact.hpp"
+
+namespace apram::obs {
+
+std::string FlightRecorder::dump(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string stem = stem_ + "-" + std::to_string(dumps_);
+  ++dumps_;
+  if (snapshot_hook_) snapshot_hook_();
+
+  std::vector<TraceEvent> events;
+  Tracer::CollectStats stats;
+  std::uint64_t open_spans = 0;
+  std::uint64_t truncated = 0;
+  if (tracer_ != nullptr) {
+    events = tracer_->events(stats);
+    const TraceAnalysis a = analyze(events);
+    open_spans = a.open_ops;
+    truncated = a.truncated_ops;
+  }
+
+  // The dump's own accounting rides in the artifact as flight.* gauges so
+  // the reader knows how much of the run the rings still held.
+  auto g = [&](const char* name, std::uint64_t v) {
+    registry_->gauge(name).set(static_cast<std::int64_t>(v));
+  };
+  g("flight.open_spans", open_spans);
+  g("flight.truncated_ops", truncated);
+  g("flight.survived", stats.survived);
+  g("flight.synthesized", stats.synthesized);
+  g("flight.dropped", tracer_ != nullptr ? tracer_->dropped() : 0);
+  g("flight.sampled_out", tracer_ != nullptr ? tracer_->sampled_out() : 0);
+  g("flight.dumps", dumps_);
+
+  auto path_of = [&](const std::string& suffix) {
+    const std::string file = stem + suffix;
+    return dir_.empty() ? artifact_path(file) : dir_ + "/" + file;
+  };
+
+  const std::string metrics_path = path_of(".metrics.json");
+  write_metrics_json(metrics_path, *registry_, tracer_,
+                     "flight: " + reason);
+
+  if (tracer_ != nullptr) {
+    std::vector<std::string> comments;
+    comments.push_back("flight dump: " + reason);
+    comments.push_back("open_spans=" + std::to_string(open_spans) +
+                       " truncated_ops=" + std::to_string(truncated) +
+                       " dropped=" + std::to_string(tracer_->dropped()) +
+                       " sampled_out=" +
+                       std::to_string(tracer_->sampled_out()));
+    write_schedule_file(path_of(".schedule"), schedule_from_trace(events),
+                        comments);
+  }
+
+  std::fprintf(stderr, "[obs::flight] dumped '%s' -> %s\n", reason.c_str(),
+               metrics_path.c_str());
+  return metrics_path;
+}
+
+namespace {
+std::atomic<FlightRecorder*> g_panic_recorder{nullptr};
+}  // namespace
+
+void set_panic_recorder(FlightRecorder* rec) {
+  g_panic_recorder.store(rec, std::memory_order_release);
+}
+
+std::string panic_dump(const std::string& reason) {
+  FlightRecorder* rec = g_panic_recorder.load(std::memory_order_acquire);
+  if (rec == nullptr) return "";
+  return rec->dump(reason);
+}
+
+}  // namespace apram::obs

@@ -28,6 +28,7 @@ struct RtProbe {
   Counter* reads = nullptr;
   Counter* writes = nullptr;
   Counter* cas_ops = nullptr;
+  Counter* cas_failures = nullptr;  // lost CASes only — the contention signal
   Tracer* tracer = nullptr;
   std::int32_t object = -1;
 
@@ -43,6 +44,7 @@ struct RtProbe {
 
   void on_cas(bool success) const {
     if (cas_ops != nullptr) cas_ops->add();
+    if (!success && cas_failures != nullptr) cas_failures->add();
     emit(EventKind::kCas, success ? 1 : 0);
   }
 

@@ -64,6 +64,10 @@ Tracer::Tracer(int num_rings, std::size_t capacity_per_ring)
 void Tracer::emit(const TraceEvent& ev) {
   const int r = ev.pid >= 0 ? ev.pid : 0;
   APRAM_CHECK_MSG(r < num_rings(), "trace event pid outside tracer rings");
+  if (sampler_.active() && !sampler_.keep(ev.pid, ev.op)) {
+    sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Ring& ring = *rings_[static_cast<std::size_t>(r)];
   const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
   ring.slots[static_cast<std::size_t>(h % cap_)] = ev;
@@ -77,7 +81,8 @@ std::uint64_t Tracer::now_ns() const {
           .count());
 }
 
-void Tracer::collect(std::vector<TraceEvent>& out) const {
+void Tracer::collect(std::vector<TraceEvent>& out,
+                     CollectStats* stats) const {
   for (std::size_t r = 0; r < rings_.size(); ++r) {
     const Ring& ring = *rings_[r];
     const std::uint64_t h = ring.head.load(std::memory_order_acquire);
@@ -86,11 +91,15 @@ void Tracer::collect(std::vector<TraceEvent>& out) const {
     for (std::uint64_t i = start; i < h; ++i) {
       out.push_back(ring.slots[static_cast<std::size_t>(i % cap_)]);
     }
+    if (stats != nullptr) stats->survived += h - start;
     if (start == 0) continue;  // nothing overwritten in this ring
     // Ring overflow: any op id referenced by a surviving event of this ring
     // without a surviving kOpBegin lost its opening to overwrite. Mark each
     // once, at the ring's earliest surviving timestamp, so analyzers can
-    // exclude the op instead of under-counting its accesses.
+    // exclude the op instead of under-counting its accesses. Markers are
+    // appended to `out` ONLY — they never occupy ring slots, so they cannot
+    // displace real events or perturb the recorded/dropped conservation law
+    // (see CollectStats in the header).
     std::set<std::uint64_t> opened;
     std::set<std::uint64_t> referenced;
     for (std::size_t i = first; i < out.size(); ++i) {
@@ -107,6 +116,7 @@ void Tracer::collect(std::vector<TraceEvent>& out) const {
       if (opened.count(op) != 0) continue;
       out.push_back(TraceEvent{earliest, pid, EventKind::kTruncated,
                                /*object=*/-1, /*arg=*/0, op});
+      if (stats != nullptr) ++stats->synthesized;
     }
   }
   std::stable_sort(out.begin(), out.end(),
@@ -118,13 +128,20 @@ void Tracer::collect(std::vector<TraceEvent>& out) const {
 
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> out;
-  collect(out);
+  collect(out, nullptr);
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::events(CollectStats& stats) const {
+  stats = CollectStats{};
+  std::vector<TraceEvent> out;
+  collect(out, &stats);
   return out;
 }
 
 std::vector<TraceEvent> Tracer::drain() {
   std::vector<TraceEvent> out;
-  collect(out);
+  collect(out, nullptr);
   for (auto& ring : rings_) {
     const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
     retired_recorded_ += h;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "util/assert.hpp"
 
 namespace apram::obs {
@@ -72,6 +73,16 @@ class Tracer {
   // Producer side — callable only by the thread owning ring ev.pid.
   void emit(const TraceEvent& ev);
 
+  // Installs a deterministic 1-in-N span sampler (obs/sampler.hpp). Events
+  // whose op is sampled out are rejected at emit() — they never enter a
+  // ring, never count as recorded, and are tallied in sampled_out()
+  // instead. Exact subset semantics: the decision is a pure function of
+  // (seed, pid, op), so kept spans are complete and per-op bound checks
+  // stay valid on the sampled population. Install before producers start;
+  // swapping mid-run would split spans.
+  void set_sampler(SpanSampler sampler) { sampler_ = sampler; }
+  const SpanSampler& sampler() const { return sampler_; }
+
   // Nanoseconds since this tracer's construction (rt timestamp source).
   std::uint64_t now_ns() const;
 
@@ -93,11 +104,32 @@ class Tracer {
   // miscounting its accesses.
   std::vector<TraceEvent> events() const;
 
+  // Exact accounting for one collection pass. The conservation law — every
+  // emitted event is in exactly one bucket:
+  //
+  //   recorded() == survived + dropped()
+  //
+  // and synthesized kTruncated markers live in NONE of them: they are
+  // appended to the OUTPUT vector only, never stored in ring slots, so they
+  // can neither overwrite real events nor inflate the drop count.
+  // Events a sampler rejected are a fourth, disjoint population
+  // (sampled_out()) — rejected before recording, by design not a "drop".
+  struct CollectStats {
+    std::uint64_t survived = 0;     // real events copied out of the rings
+    std::uint64_t synthesized = 0;  // kTruncated markers added to the output
+  };
+
+  std::vector<TraceEvent> events(CollectStats& stats) const;
+
   // events(), then resets every ring.
   std::vector<TraceEvent> drain();
 
-  std::uint64_t recorded() const;  // total events ever emitted
-  std::uint64_t dropped() const;   // overwritten by ring overflow
+  std::uint64_t recorded() const;  // total events accepted into rings
+  std::uint64_t dropped() const;   // overwritten by ring overflow (exact:
+                                   // max(0, head − capacity) per ring)
+  std::uint64_t sampled_out() const {  // rejected by the span sampler
+    return sampled_out_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Ring {
@@ -105,10 +137,12 @@ class Tracer {
     std::vector<TraceEvent> slots;
   };
 
-  void collect(std::vector<TraceEvent>& out) const;
+  void collect(std::vector<TraceEvent>& out, CollectStats* stats) const;
 
   std::size_t cap_;
   std::vector<std::unique_ptr<Ring>> rings_;
+  SpanSampler sampler_;  // rate 1 (keep everything) unless set_sampler'd
+  std::atomic<std::uint64_t> sampled_out_{0};
   std::uint64_t retired_recorded_ = 0;  // carried across drain() resets
   std::uint64_t retired_dropped_ = 0;
   std::atomic<std::uint64_t> next_op_{1};  // 0 is "no span"

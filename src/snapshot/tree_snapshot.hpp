@@ -128,6 +128,13 @@ class TreeScan {
     return tree_.node_at(i);
   }
 
+  // Per-node contention telemetry (forwarded from the tree).
+  const obs::NodeContention& contention() const { return tree_.contention(); }
+  void export_contention_gauges(obs::Registry& registry,
+                                const std::string& prefix) const {
+    tree_.export_contention_gauges(registry, prefix);
+  }
+
  private:
   struct alignas(64) Cache {
     Value leaf = L::bottom();  // mirror of own leaf (single writer)
@@ -179,6 +186,11 @@ class TreeSnapshot {
   }
 
   TreeScan<B, Lattice>& tree() { return scan_; }
+
+  void export_contention_gauges(obs::Registry& registry,
+                                const std::string& prefix) const {
+    scan_.export_contention_gauges(registry, prefix);
+  }
 
  private:
   struct alignas(64) Tag {
@@ -238,6 +250,10 @@ class TreeScanRT {
                              const std::string& name) const {
     mem_.export_reclaim_gauges(registry, name);
   }
+  void export_contention_gauges(obs::Registry& registry,
+                                const std::string& prefix) const {
+    impl_.export_contention_gauges(registry, prefix);
+  }
 
  private:
   api::RtBackend::Mem mem_;
@@ -275,6 +291,10 @@ class TreeSnapshotRT {
   void export_reclaim_gauges(obs::Registry& registry,
                              const std::string& name) const {
     mem_.export_reclaim_gauges(registry, name);
+  }
+  void export_contention_gauges(obs::Registry& registry,
+                                const std::string& prefix) const {
+    impl_.export_contention_gauges(registry, prefix);
   }
 
  private:

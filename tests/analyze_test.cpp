@@ -15,6 +15,7 @@
 
 #include "api/sim_backend.hpp"
 #include "obs/analyze.hpp"
+#include "obs/contention.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -276,6 +277,160 @@ TEST(Analyze, LoadEventsJsonRoundTripsThroughTheMetricsArtifact) {
   EXPECT_TRUE(report.ok()) << format_report(report);
   EXPECT_EQ(report.checked, static_cast<std::uint64_t>(n));
   std::remove(path.c_str());
+}
+
+TEST(Analyze, MetricsJsonHasEventsProbesTheArtifactShape) {
+  Registry reg;
+  reg.counter("x").add(1);
+  Tracer tracer(1, 8);
+  tracer.emit({1, 0, EventKind::kUser, 0, 0});
+
+  const std::string with = "analyze_test.with_events.json";
+  const std::string without = "analyze_test.without_events.json";
+  write_metrics_json(with, reg, &tracer, "probe");
+  write_metrics_json(without, reg, nullptr, "probe");
+  // The probe is what lets apram-trace fall back to gauge-derived analysis
+  // instead of aborting on tracer-less artifacts (BENCH_t1.json et al.).
+  EXPECT_TRUE(metrics_json_has_events(with));
+  EXPECT_FALSE(metrics_json_has_events(without));
+  EXPECT_FALSE(metrics_json_has_events("analyze_test.does_not_exist.json"));
+  std::remove(with.c_str());
+  std::remove(without.c_str());
+}
+
+TEST(Analyze, LoadMetricsJsonReadsCountersGaugesAndHistograms) {
+  Registry reg;
+  reg.counter("ops.total").add(42);
+  reg.gauge("depth").set(-3);
+  Histogram& h = reg.histogram("lat");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const std::string path = "analyze_test.doc.json";
+  write_metrics_json(path, reg, nullptr, "doc-test");
+
+  const MetricsDoc doc = load_metrics_json(path);
+  EXPECT_EQ(doc.name, "doc-test");
+  EXPECT_EQ(doc.counters.at("ops.total"), 42u);
+  EXPECT_EQ(doc.gauges.at("depth"), -3);
+  const auto& lat = doc.histograms.at("lat");
+  EXPECT_EQ(lat.count, 100u);
+  EXPECT_EQ(lat.sum, 5050u);
+  EXPECT_NEAR(lat.mean, 50.5, 0.01);
+  EXPECT_GT(lat.p99, lat.p50);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ heatmap/help graph --
+
+TEST(Analyze, HeatmapClassifiesWalkOutcomesFromSyntheticEvents) {
+  const auto upd = static_cast<std::uint64_t>(OpKind::kTreeUpdate);
+  const auto refresh = static_cast<std::uint64_t>(Phase::kRefresh);
+  const std::vector<TraceEvent> evs = {
+      // Op 1 (pid 0): level 0 installs first-try on register 10; level 1
+      // loses once then installs on register 11 (a second refresh).
+      {1, 0, EventKind::kOpBegin, -1, upd, 1},
+      {2, 0, EventKind::kPhase, 0, refresh, 1},
+      {3, 0, EventKind::kCas, 10, 1, 1},
+      {4, 0, EventKind::kPhase, 1, refresh, 1},
+      {5, 0, EventKind::kCas, 11, 0, 1},
+      {6, 0, EventKind::kCas, 11, 1, 1},
+      {7, 0, EventKind::kOpEnd, -1, upd, 1},
+      // Op 2 (pid 1): level 1 loses both attempts — fully helped.
+      {8, 1, EventKind::kOpBegin, -1, upd, 2},
+      {9, 1, EventKind::kPhase, 1, refresh, 2},
+      {10, 1, EventKind::kCas, 11, 0, 2},
+      {11, 1, EventKind::kCas, 11, 0, 2},
+      {12, 1, EventKind::kHelp, 11, 0, 2},
+      {13, 1, EventKind::kOpEnd, -1, upd, 2},
+  };
+  const ContentionHeatmap hm = contention_heatmap(evs);
+  ASSERT_EQ(hm.levels.size(), 2u);
+  EXPECT_EQ(hm.refresh_ops, 2u);
+  EXPECT_EQ(hm.levels[0].first_refresh, 1u);
+  EXPECT_EQ(hm.levels[0].cas_attempts, 1u);
+  EXPECT_EQ(hm.levels[0].cas_failures, 0u);
+  EXPECT_EQ(hm.levels[1].second_refresh, 1u);
+  EXPECT_EQ(hm.levels[1].helped, 1u);
+  EXPECT_EQ(hm.levels[1].cas_attempts, 4u);
+  EXPECT_EQ(hm.levels[1].cas_failures, 3u);
+  // Per-node rows keyed by the CAS target's register id.
+  EXPECT_EQ(hm.nodes.at(10).first_refresh, 1u);
+  EXPECT_EQ(hm.nodes.at(11).walks(), 2u);
+  EXPECT_EQ(hm.node_level.at(11), 1);
+  // Level 1's double-refresh rate (100%) dominates level 0's (0%).
+  EXPECT_EQ(hm.peak_level(), 1);
+}
+
+TEST(Analyze, HeatmapCrossChecksTheOnlineContentionCounters) {
+  // The same first/second/helped split, derived two independent ways — from
+  // the trace's refresh-phase grammar and from the NodeContention counters
+  // the tree bumps online — must agree level by level at quiescence.
+  const int n = 8;
+  constexpr int kOpsPerPid = 8;
+  Tracer tracer(n, 1 << 14);
+  sim::World w(n, {.tracer = &tracer});
+  api::SimBackend::Mem mem(w, "t");
+  snapshot::TreeScan<api::SimBackend, MaxL> tree(mem, n);
+  for (int pid = 0; pid < n; ++pid) {
+    w.spawn(pid, [&tree, pid](sim::Context ctx) -> sim::ProcessTask {
+      for (int i = 0; i < kOpsPerPid; ++i) {
+        co_await tree.update(ctx, pid * 100 + i);
+      }
+    });
+  }
+  sim::RandomScheduler rs(/*seed=*/29);
+  APRAM_CHECK(w.run(rs).all_done);
+  ASSERT_EQ(tracer.dropped(), 0u);
+
+  const ContentionHeatmap hm = contention_heatmap(tracer.events());
+  EXPECT_EQ(hm.refresh_ops,
+            static_cast<std::uint64_t>(n) * kOpsPerPid);
+  if (!kContentionEnabled) return;  // the online half is compiled out
+  const NodeContention& online = tree.contention();
+  ASSERT_EQ(static_cast<int>(hm.levels.size()), online.num_levels());
+  for (std::size_t lvl = 0; lvl < hm.levels.size(); ++lvl) {
+    const ContentionTotals a = hm.levels[lvl];
+    const ContentionTotals b = online.level_totals(static_cast<int>(lvl));
+    EXPECT_EQ(a.first_refresh, b.first_refresh) << "level " << lvl;
+    EXPECT_EQ(a.second_refresh, b.second_refresh) << "level " << lvl;
+    EXPECT_EQ(a.helped, b.helped) << "level " << lvl;
+    // The online side DERIVES attempts/failures from outcomes under the
+    // double-refresh lemma; the trace COUNTS real kCas events. Equality here
+    // is the executed-code proof of the lemma's (1,0)/(2,1)/(2,2) table.
+    EXPECT_EQ(a.cas_attempts, b.cas_attempts) << "level " << lvl;
+    EXPECT_EQ(a.cas_failures, b.cas_failures) << "level " << lvl;
+  }
+}
+
+TEST(Analyze, HelpGraphCountsU2EdgesAndIgnoresFarrayHelps) {
+  const auto exec = static_cast<std::uint64_t>(OpKind::kU2Execute);
+  const auto upd = static_cast<std::uint64_t>(OpKind::kTreeUpdate);
+  const std::vector<TraceEvent> evs = {
+      // Op 1 (pid 0): a u2 op that helped pids 1 and 2.
+      {1, 0, EventKind::kOpBegin, -1, exec, 1},
+      {2, 0, EventKind::kHelp, 1, 0, 1},
+      {3, 0, EventKind::kHelp, 2, 0, 1},
+      {4, 0, EventKind::kOpEnd, -1, exec, 1},
+      // Op 2 (pid 1): helped pid 2.
+      {5, 1, EventKind::kOpBegin, -1, exec, 2},
+      {6, 1, EventKind::kHelp, 2, 0, 2},
+      {7, 1, EventKind::kOpEnd, -1, exec, 2},
+      // Op 3 (pid 2): a farray update; its kHelp carries a tree NODE id in
+      // `object`, not a pid — must not become an edge.
+      {8, 2, EventKind::kOpBegin, -1, upd, 3},
+      {9, 2, EventKind::kHelp, 5, 0, 3},
+      {10, 2, EventKind::kOpEnd, -1, upd, 3},
+  };
+  const HelpGraph g = help_graph(evs);
+  EXPECT_EQ(g.ops_seen, 2u);
+  EXPECT_EQ(g.total_helps, 3u);
+  EXPECT_EQ(g.num_pids, 3);
+  EXPECT_EQ(g.edges.at({0, 1}), 1u);
+  EXPECT_EQ(g.edges.at({0, 2}), 1u);
+  EXPECT_EQ(g.edges.at({1, 2}), 1u);
+  EXPECT_EQ(g.max_distinct_helped, 2u);
+  EXPECT_EQ(g.given(0), 2u);
+  EXPECT_EQ(g.received(2), 2u);
+  EXPECT_EQ(g.given(2), 0u);
 }
 
 TEST(AnalyzeDeath, LoadAbortsOnGarbageAndMissingFiles) {

@@ -3,15 +3,23 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "api/sim_backend.hpp"
+#include "obs/analyze.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/contention.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/replay_artifact.hpp"
 #include "obs/rt_probe.hpp"
+#include "obs/sampler.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "rt/register.hpp"
@@ -21,6 +29,7 @@
 #include "sim/world.hpp"
 #include "snapshot/atomic_snapshot.hpp"
 #include "snapshot/lattice_scan.hpp"
+#include "snapshot/tree_snapshot.hpp"
 
 namespace apram::obs {
 namespace {
@@ -290,8 +299,10 @@ TEST(SimObs, TraceOfThreeProcessRunReplaysIdentically) {
 
 TEST(RtObs, ProbeCountsRegisterAccesses) {
   Registry reg;
-  RtProbe probe{&reg.counter("r"), &reg.counter("w"), &reg.counter("c"),
-                nullptr, 0};
+  RtProbe probe{.reads = &reg.counter("r"),
+                .writes = &reg.counter("w"),
+                .cas_ops = &reg.counter("c"),
+                .object = 0};
   rt::SWMRRegister<std::int64_t> r(0);
   r.attach_probe(&probe);
   r.write(9);
@@ -337,7 +348,10 @@ TEST(RtObs, HarnessTracesSpawnAndDonePerThread) {
 TEST(RtObs, ProbedRegisterTracesUnderHarness) {
   Tracer tracer(2, 256);
   Registry reg;
-  RtProbe probe{&reg.counter("r"), &reg.counter("w"), nullptr, &tracer, 3};
+  RtProbe probe{.reads = &reg.counter("r"),
+                .writes = &reg.counter("w"),
+                .tracer = &tracer,
+                .object = 3};
   rt::SWMRRegister<std::int64_t> r(0);
   r.attach_probe(&probe);
   rt::parallel_run(
@@ -570,7 +584,10 @@ TEST(Span, CrashLeavesTheSpanOpenInTheTrace) {
 TEST(Span, RtAmbientSpanTagsProbedAccesses) {
   Tracer tracer(2, 256);
   Registry reg;
-  RtProbe probe{&reg.counter("r"), &reg.counter("w"), nullptr, &tracer, 3};
+  RtProbe probe{.reads = &reg.counter("r"),
+                .writes = &reg.counter("w"),
+                .tracer = &tracer,
+                .object = 3};
   rt::SWMRRegister<std::int64_t> r(0);
   r.attach_probe(&probe);
   rt::parallel_run(
@@ -730,6 +747,281 @@ TEST(Trace, NoMarkersWithoutOverflow) {
   for (const auto& ev : tr.events()) {
     EXPECT_NE(ev.kind, EventKind::kTruncated);
   }
+}
+
+TEST(Trace, TwoSlotRingCountsDroppedEventsExactly) {
+  // The conservation law on the smallest ring that can overflow:
+  // recorded == survived + dropped, with synthesized kTruncated markers in
+  // NONE of the buckets (they live only in the output vector).
+  Tracer tr(1, 2);
+  tr.emit({1, 0, EventKind::kOpBegin, -1,
+           static_cast<std::uint64_t>(OpKind::kScan), 9});
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    tr.emit({2 + i, 0, EventKind::kRead, 0, 0, 9});
+  }
+  tr.emit({8, 0, EventKind::kOpEnd, -1,
+           static_cast<std::uint64_t>(OpKind::kScan), 9});
+  // 5 emits into 2 slots: the newest 2 survive, exactly 3 were overwritten.
+  EXPECT_EQ(tr.recorded(), 5u);
+  EXPECT_EQ(tr.dropped(), 3u);
+
+  Tracer::CollectStats stats;
+  const auto evs = tr.events(stats);
+  EXPECT_EQ(stats.survived, 2u);
+  EXPECT_EQ(tr.recorded(), stats.survived + tr.dropped());
+  // Op 9's kOpBegin was overwritten while its kOpEnd survived → exactly one
+  // synthesized marker, appended to the output without touching a ring slot
+  // or the drop count.
+  EXPECT_EQ(stats.synthesized, 1u);
+  EXPECT_EQ(evs.size(), stats.survived + stats.synthesized);
+  int markers = 0;
+  for (const auto& ev : evs) {
+    if (ev.kind == EventKind::kTruncated) {
+      EXPECT_EQ(ev.op, 9u);
+      ++markers;
+    }
+  }
+  EXPECT_EQ(markers, 1);
+  // Collection is read-only: a second pass reports identical accounting.
+  Tracer::CollectStats again;
+  (void)tr.events(again);
+  EXPECT_EQ(again.survived, stats.survived);
+  EXPECT_EQ(again.synthesized, stats.synthesized);
+  EXPECT_EQ(tr.dropped(), 3u);
+}
+
+// -------------------------------------------------------------- contention --
+
+TEST(Contention, TelemetryAddsNoModelAccessesAndPinsSoloOutcomes) {
+  // The closed form 1 + 4h counts MODEL register accesses; contention
+  // telemetry ticks process-local memory only, so the count must hold
+  // whether the counters are compiled in or out — the "bit-identical hot
+  // path" half of the compile-out contract.
+  const int n = 8;
+  sim::World w(n);
+  api::SimBackend::Mem mem(w, "t");
+  snapshot::TreeScan<api::SimBackend, MaxL> tree(mem, n);
+  w.spawn(0, [&](sim::Context ctx) -> sim::ProcessTask {
+    co_await tree.update(ctx, 5);
+  });
+  w.run_solo(0);
+  EXPECT_EQ(w.counts(0).total(), snapshot::tree_scan_update_solo_accesses(n));
+
+  const auto h =
+      static_cast<std::uint64_t>(snapshot::tree_scan_height(n));
+  const ContentionTotals t = tree.contention().totals();
+  if (kContentionEnabled) {
+    // A solo walk installs first-try at every level: h walks, all
+    // first-refresh, and the derived CAS counts follow the (1, 0) row of
+    // the WalkOutcome table.
+    EXPECT_EQ(t.walks(), h);
+    EXPECT_EQ(t.first_refresh, h);
+    EXPECT_EQ(t.second_refresh, 0u);
+    EXPECT_EQ(t.helped, 0u);
+    EXPECT_EQ(t.cas_attempts, h);
+    EXPECT_EQ(t.cas_failures, 0u);
+    EXPECT_DOUBLE_EQ(t.cas_fail_rate(), 0.0);
+    EXPECT_DOUBLE_EQ(t.double_refresh_rate(), 0.0);
+    // Per-level attribution: one first-try walk at every level 0..h-1.
+    EXPECT_EQ(tree.contention().num_levels(), static_cast<int>(h));
+    for (int lvl = 0; lvl < static_cast<int>(h); ++lvl) {
+      EXPECT_EQ(tree.contention().level_totals(lvl).first_refresh, 1u)
+          << "level " << lvl;
+    }
+    // Exported gauges carry the same numbers (per-level + totals).
+    Registry reg;
+    tree.export_contention_gauges(reg, "farray.unit");
+    EXPECT_EQ(reg.gauge("farray.unit.walks").value(),
+              static_cast<std::int64_t>(h));
+    EXPECT_EQ(reg.gauge("farray.unit.cas_fail_rate").value(), 0);
+    EXPECT_EQ(reg.gauge("farray.unit.level0.first_refresh").value(), 1);
+  } else {
+    // Compiled out: the identical API reads all-zero.
+    EXPECT_EQ(t.walks(), 0u);
+    EXPECT_EQ(t.cas_attempts, 0u);
+    Registry reg;
+    tree.export_contention_gauges(reg, "farray.unit");
+    EXPECT_EQ(to_json(reg, nullptr, "unit").find("farray.unit"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------- sampler --
+
+TEST(Sampler, DeterministicSubsetPerSeed) {
+  const SpanSampler a{/*seed=*/0xfeedULL, /*rate=*/8};
+  const SpanSampler b{/*seed=*/0xfeedULL, /*rate=*/8};
+  const SpanSampler c{/*seed=*/0xbeefULL, /*rate=*/8};
+  EXPECT_TRUE(a.active());
+
+  std::set<std::uint64_t> kept_a;
+  std::set<std::uint64_t> kept_c;
+  for (std::uint64_t op = 1; op <= 4096; ++op) {
+    EXPECT_EQ(a.keep(2, op), b.keep(2, op));  // same seed → same subset
+    if (a.keep(2, op)) kept_a.insert(op);
+    if (c.keep(2, op)) kept_c.insert(op);
+  }
+  // Roughly 1-in-8 (splitmix64 spreads uniformly; 2× slack either way).
+  EXPECT_GT(kept_a.size(), 4096u / 16);
+  EXPECT_LT(kept_a.size(), 4096u / 4);
+  EXPECT_NE(kept_a, kept_c);  // different seeds → different subsets
+
+  // The pid is part of the hash: two pids disagree somewhere.
+  bool pid_differs = false;
+  for (std::uint64_t op = 1; op <= 256 && !pid_differs; ++op) {
+    pid_differs = a.keep(0, op) != a.keep(1, op);
+  }
+  EXPECT_TRUE(pid_differs);
+
+  // op 0 (spawn/done/untagged accesses) is population metadata, never
+  // sampled out; rate <= 1 keeps everything and reports inactive.
+  EXPECT_TRUE(a.keep(5, 0));
+  const SpanSampler all{/*seed=*/123, /*rate=*/1};
+  EXPECT_FALSE(all.active());
+  for (std::uint64_t op = 1; op <= 64; ++op) {
+    EXPECT_TRUE(all.keep(0, op));
+  }
+}
+
+TEST(Sampler, SampledTraceStillVerifiesTheTreeUpdateBound) {
+  // Exact subset semantics end-to-end: install a 1-in-4 sampler, run a
+  // contended TreeScan workload, and check the 1+8⌈log2 n⌉ bound on the
+  // sampled population — kept spans are complete, so the bound verifies
+  // exactly; only the population size shrinks.
+  const int n = 4;
+  constexpr int kOpsPerPid = 64;
+  Tracer tracer(n, 1 << 14);
+  tracer.set_sampler(SpanSampler{/*seed=*/42, /*rate=*/4});
+  sim::World w(n, {.tracer = &tracer});
+  api::SimBackend::Mem mem(w, "t");
+  snapshot::TreeScan<api::SimBackend, MaxL> tree(mem, n);
+  for (int pid = 0; pid < n; ++pid) {
+    w.spawn(pid, [&tree, pid](sim::Context ctx) -> sim::ProcessTask {
+      for (int i = 0; i < kOpsPerPid; ++i) {
+        co_await tree.update(ctx, pid * 1000 + i);
+      }
+    });
+  }
+  sim::RandomScheduler sched(/*seed=*/11, /*stickiness=*/0.5);
+  ASSERT_TRUE(w.run(sched).all_done);
+  EXPECT_EQ(tracer.dropped(), 0u);     // the ring never overflowed...
+  EXPECT_GT(tracer.sampled_out(), 0u);  // ...the sampler did the thinning
+
+  const TraceAnalysis a = analyze(tracer.events());
+  const BoundReport report = check_tree_update_bound(a, n);
+  EXPECT_TRUE(report.ok()) << format_report(report);
+  EXPECT_GT(report.checked, 0u);
+  EXPECT_LT(report.checked,
+            static_cast<std::uint64_t>(n) * kOpsPerPid);  // a strict subset
+  EXPECT_EQ(report.excluded, 0u);  // sampling truncates nothing
+}
+
+// ----------------------------------------------------------------- flight --
+
+TEST(Flight, DumpRoundTripsAndReplaysStepIdentically) {
+  struct Run : sim::Execution {
+    Run(int n, obs::Tracer* t) : w(n, {.tracer = t}), snap(w, n) {}
+    sim::World& world() override { return w; }
+    sim::World w;
+    AtomicSnapshotSim<int> snap;
+    std::vector<int> scans;
+  };
+  const int n = 3;
+  auto make = [n](obs::Tracer* t) -> std::unique_ptr<sim::Execution> {
+    auto run = std::make_unique<Run>(n, t);
+    Run* r = run.get();
+    for (int pid = 0; pid < n; ++pid) {
+      r->w.spawn(pid, [r, pid](sim::Context ctx) -> sim::ProcessTask {
+        co_await r->snap.update(ctx, pid + 1);
+        const auto view = co_await r->snap.scan(ctx);
+        std::int64_t sum = 0;
+        for (const auto& v : view) sum += v.value_or(0);
+        r->scans.push_back(static_cast<int>(sum));
+      });
+    }
+    return run;
+  };
+
+  Tracer tracer(n, 4096);
+  Registry reg;
+  auto orig = make(&tracer);
+  sim::RandomScheduler sched(/*seed=*/13, /*stickiness=*/0.5);
+  ASSERT_TRUE(orig->world().run(sched).all_done);
+
+  FlightRecorder rec(&reg, &tracer, "flighttest");
+  const std::string dir = ::testing::TempDir();
+  rec.set_dir(dir);
+  bool hook_ran = false;
+  rec.set_snapshot_hook([&] {
+    hook_ran = true;
+    reg.gauge("unit.snapshot_hook").set(1);
+  });
+  const std::string metrics_path = rec.dump("unit-test dump");
+  EXPECT_TRUE(hook_ran);
+  EXPECT_EQ(rec.dumps(), 1u);
+
+  // The metrics artifact is a standard export: the snapshot-hook gauge, the
+  // flight.* accounting, and the events all load back through the normal
+  // analyzers.
+  ASSERT_TRUE(metrics_json_has_events(metrics_path));
+  const MetricsDoc doc = load_metrics_json(metrics_path);
+  EXPECT_EQ(doc.gauges.at("unit.snapshot_hook"), 1);
+  EXPECT_EQ(doc.gauges.at("flight.dumps"), 1);
+  EXPECT_EQ(doc.gauges.at("flight.dropped"), 0);
+  const auto live = tracer.events();
+  EXPECT_EQ(doc.gauges.at("flight.survived"),
+            static_cast<std::int64_t>(live.size()));
+  const auto loaded = load_events_json(metrics_path);
+  ASSERT_EQ(loaded.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(loaded[i].when, live[i].when);
+    EXPECT_EQ(loaded[i].pid, live[i].pid);
+    EXPECT_EQ(loaded[i].kind, live[i].kind);
+    EXPECT_EQ(loaded[i].object, live[i].object);
+    EXPECT_EQ(loaded[i].op, live[i].op);
+  }
+
+  // The companion .schedule replays the run step-identically.
+  const std::string sched_path = dir + "/flighttest-0.schedule";
+  ASSERT_TRUE(std::filesystem::exists(sched_path));
+  auto factory = [&make]() { return make(nullptr); };
+  auto replayed_exec = sim::replay(factory, read_schedule_file(sched_path));
+  auto* replayed = static_cast<Run*>(replayed_exec.get());
+  for (int pid = 0; pid < n; ++pid) {
+    EXPECT_TRUE(replayed->w.done(pid));
+    EXPECT_EQ(replayed->w.counts(pid).reads, orig->world().counts(pid).reads);
+    EXPECT_EQ(replayed->w.counts(pid).writes,
+              orig->world().counts(pid).writes);
+  }
+  EXPECT_EQ(replayed->scans, static_cast<Run*>(orig.get())->scans);
+
+  // A second dump gets a fresh sequence number; neither clobbers the other.
+  const std::string metrics_path2 = rec.dump("second dump");
+  EXPECT_NE(metrics_path2, metrics_path);
+  EXPECT_EQ(rec.dumps(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(metrics_path));
+  EXPECT_TRUE(std::filesystem::exists(metrics_path2));
+}
+
+TEST(Flight, PanicDumpRoutesThroughTheInstalledRecorder) {
+  // Library code calls panic_dump unconditionally; with nothing installed it
+  // must be a silent no-op.
+  EXPECT_EQ(panic_dump("nobody installed"), "");
+
+  Registry reg;
+  Tracer tr(1, 8);
+  tr.emit({1, 0, EventKind::kUser, 0, 0});
+  FlightRecorder rec(&reg, &tr, "panictest");
+  rec.set_dir(::testing::TempDir());
+  set_panic_recorder(&rec);
+  const std::string path = panic_dump("unit panic");
+  EXPECT_FALSE(path.empty());
+  EXPECT_EQ(rec.dumps(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  set_panic_recorder(nullptr);
+  EXPECT_EQ(panic_dump("after uninstall"), "");
+  EXPECT_EQ(rec.dumps(), 1u);  // the uninstalled recorder never fires
 }
 
 }  // namespace

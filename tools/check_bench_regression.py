@@ -70,8 +70,21 @@ def hist_p99(doc, path, name):
     return p99
 
 
+def check_required_gauges(doc, path, prefixes):
+    """Every prefix must match at least one exported gauge — a bench run
+    that silently stopped exporting its telemetry (contention counters,
+    reclaim accounting) must fail the gate, not pass with less evidence."""
+    gauges = doc.get("gauges", {})
+    missing = [p for p in prefixes
+               if not any(name.startswith(p) for name in gauges)]
+    if missing:
+        sys.exit(f"error: {path} exports no gauge matching required "
+                 f"prefix(es): {', '.join(missing)}")
+
+
 def run_gate(current_paths, baseline_path, headline, normalize,
-             tolerance=0.10, p99=None, p99_tolerance=1.0):
+             tolerance=0.10, p99=None, p99_tolerance=1.0,
+             require_gauges=None):
     """Returns a process exit code (0 pass, 1 fail)."""
     base = _load(baseline_path)
     base_head = gauge(base, baseline_path, headline)
@@ -84,6 +97,8 @@ def run_gate(current_paths, baseline_path, headline, normalize,
     best_p99_ratio = float("inf")
     for path in current_paths:
         cur = _load(path)
+        if require_gauges:
+            check_required_gauges(cur, path, require_gauges)
         cur_head = gauge(cur, path, headline)
         cur_norm = gauge(cur, path, normalize)
         machine_scale = cur_norm / base_norm
@@ -153,10 +168,16 @@ def main():
         help="allowed fractional increase of the normalized p99 "
         "(default: %(default)s, i.e. up to 2x)",
     )
+    ap.add_argument(
+        "--require-gauges", action="append", default=[],
+        help="gauge-name prefix that must match at least one gauge in every "
+        "current artifact (repeatable); guards against telemetry silently "
+        "disappearing from a bench",
+    )
     args = ap.parse_args()
     return run_gate(args.current, args.baseline, args.headline,
                     args.normalize, args.tolerance, args.p99,
-                    args.p99_tolerance)
+                    args.p99_tolerance, args.require_gauges)
 
 
 if __name__ == "__main__":

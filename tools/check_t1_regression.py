@@ -20,7 +20,7 @@ counts where startup costs dominate.
 
 Usage:
     tools/check_t1_regression.py build/gate1.json build/gate2.json \
-        --baseline bench/results/BENCH_t1.json [--tolerance 0.10]
+        --baseline bench/results/BENCH_t1.json [--tolerance 0.03]
 """
 
 import argparse
@@ -48,13 +48,20 @@ def main():
     ap.add_argument(
         "--tolerance",
         type=float,
-        default=0.10,
+        default=0.03,
         help="allowed fractional regression of the normalized tree "
-        "throughput (default: %(default)s)",
+        "throughput (default: %(default)s — the obs-v3 acceptance budget: "
+        "always-on contention telemetry must cost <= 3%%)",
+    )
+    ap.add_argument(
+        "--require-gauges", action="append", default=[],
+        help="gauge-name prefix that must appear in every current artifact "
+        "(repeatable); see check_bench_regression.py",
     )
     args = ap.parse_args()
     return run_gate(args.current, args.baseline, HEADLINE_TREE,
-                    HEADLINE_FLAT, args.tolerance)
+                    HEADLINE_FLAT, args.tolerance,
+                    require_gauges=args.require_gauges)
 
 
 if __name__ == "__main__":
